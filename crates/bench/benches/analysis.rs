@@ -1,0 +1,91 @@
+//! Step-4 benchmarks (FIG11/FIG12): model identification from strings,
+//! marker scanning, hexdump rendering/grep and image reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use msa_bench::{attacker_debugger, bench_board, launch_victim};
+use msa_core::analysis::image::reconstruct_image;
+use msa_core::analysis::marker::{marker_runs, CORRUPTED_MARKER};
+use msa_core::analysis::strings::identify_model;
+use msa_core::attack::ScrapeMode;
+use msa_core::dump::MemoryDump;
+use msa_core::profile::Profiler;
+use msa_core::scrape::scrape_heap;
+use msa_core::signature::SignatureDb;
+use msa_core::translate::capture_heap_translation;
+use vitis_ai_sim::ModelKind;
+
+fn scraped_dump(model: ModelKind) -> MemoryDump {
+    let mut setup = launch_victim(bench_board(), model);
+    let mut debugger = attacker_debugger();
+    let translation = capture_heap_translation(&mut debugger, &setup.kernel, setup.victim.pid())
+        .expect("translation captured");
+    let pid = setup.victim.pid();
+    setup.kernel.terminate(pid).expect("victim terminates");
+    scrape_heap(&mut debugger, &setup.kernel, &translation, ScrapeMode::ContiguousRange)
+        .expect("scrape succeeds")
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let dump = scraped_dump(ModelKind::Resnet50Pt);
+    let db = SignatureDb::standard();
+    let profile = Profiler::new(bench_board())
+        .profile_model(ModelKind::Resnet50Pt)
+        .expect("profiling succeeds");
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(dump.len() as u64));
+
+    group.bench_function("identify_model_from_strings", |b| {
+        b.iter(|| black_box(identify_model(&dump, &db)))
+    });
+
+    group.bench_function("marker_run_scan", |b| {
+        b.iter(|| black_box(marker_runs(&dump, CORRUPTED_MARKER, 256).len()))
+    });
+
+    group.bench_function("hexdump_render", |b| {
+        b.iter(|| black_box(dump.to_hexdump().render().len()))
+    });
+
+    group.bench_function("hexdump_grep_resnet50", |b| {
+        let hexdump = dump.to_hexdump();
+        b.iter(|| black_box(hexdump.grep("resnet50").len()))
+    });
+
+    group.bench_function("image_reconstruction_at_profiled_offset", |b| {
+        b.iter(|| {
+            black_box(reconstruct_image(
+                &dump,
+                ModelKind::Resnet50Pt,
+                profile.image_offset,
+            ))
+        })
+    });
+
+    group.bench_function("ascii_string_extraction", |b| {
+        b.iter(|| black_box(dump.ascii_strings(6).len()))
+    });
+
+    group.finish();
+}
+
+fn bench_offline_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_profiling");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    let profiler = Profiler::new(bench_board());
+    for model in [ModelKind::SqueezeNet, ModelKind::Resnet50Pt] {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| black_box(profiler.profile_model(model).expect("profiling succeeds")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_offline_profiling);
+criterion_main!(benches);

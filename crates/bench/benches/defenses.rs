@@ -1,0 +1,67 @@
+//! Defense-cost benchmarks (TAB-B / TAB-F): the runtime overhead each
+//! sanitization policy adds to process termination.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use msa_bench::{bench_board, VICTIM_USER};
+use petalinux_sim::Kernel;
+use vitis_ai_sim::{DpuRunner, Image, ModelKind};
+use zynq_dram::SanitizePolicy;
+
+fn bench_termination_under_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("termination_sanitization_cost");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+
+    let mut policies: Vec<SanitizePolicy> = SanitizePolicy::all_basic().to_vec();
+    policies.push(SanitizePolicy::Background { delay_ticks: 100 });
+
+    for policy in policies {
+        group.bench_function(policy.to_string(), |b| {
+            b.iter(|| {
+                let board = bench_board().with_sanitize_policy(policy);
+                let mut kernel = Kernel::boot(board);
+                let victim = DpuRunner::new(ModelKind::SqueezeNet)
+                    .with_input(Image::corrupted(224, 224))
+                    .launch(&mut kernel, VICTIM_USER)
+                    .expect("victim launches");
+                let pid = victim.pid();
+                let report = kernel.terminate(pid).expect("victim terminates");
+                black_box(report.bytes_scrubbed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_modelled_scrub_cost(c: &mut Criterion) {
+    // Reports the modelled (cycle) cost rather than wall-clock: useful to
+    // regenerate the cost column of TAB-B without Criterion noise.
+    let mut group = c.benchmark_group("scrub_report_only");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("collect_scrub_reports", |b| {
+        b.iter(|| {
+            let mut costs = Vec::new();
+            for policy in SanitizePolicy::all_basic() {
+                let board = bench_board().with_sanitize_policy(policy);
+                let mut kernel = Kernel::boot(board);
+                let victim = DpuRunner::new(ModelKind::SqueezeNet)
+                    .launch(&mut kernel, VICTIM_USER)
+                    .expect("victim launches");
+                let pid = victim.pid();
+                let report = kernel.terminate(pid).expect("victim terminates");
+                costs.push(report.cost_cycles);
+            }
+            black_box(costs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_termination_under_policies, bench_modelled_scrub_cost);
+criterion_main!(benches);

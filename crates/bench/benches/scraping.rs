@@ -1,0 +1,49 @@
+//! Step-3 benchmarks (FIG10): scraping the terminated victim's heap from
+//! physical memory, comparing the paper's contiguous-range read with the
+//! per-page strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use msa_bench::{attacker_debugger, bench_board, launch_victim};
+use msa_core::attack::ScrapeMode;
+use msa_core::scrape::scrape_heap;
+use msa_core::translate::capture_heap_translation;
+use vitis_ai_sim::ModelKind;
+
+fn bench_scraping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scraping");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    for model in [ModelKind::SqueezeNet, ModelKind::Resnet50Pt] {
+        let mut setup = launch_victim(bench_board(), model);
+        let mut debugger = attacker_debugger();
+        let translation = capture_heap_translation(&mut debugger, &setup.kernel, setup.victim.pid())
+            .expect("translation captured");
+        let pid = setup.victim.pid();
+        setup.kernel.terminate(pid).expect("victim terminates");
+        group.throughput(Throughput::Bytes(translation.heap_len()));
+
+        for mode in [ScrapeMode::ContiguousRange, ScrapeMode::PerPage] {
+            group.bench_function(format!("{mode}/{}", model.name()), |b| {
+                b.iter(|| {
+                    let dump = scrape_heap(&mut debugger, &setup.kernel, &translation, mode)
+                        .expect("scrape succeeds");
+                    black_box(dump.len())
+                })
+            });
+        }
+
+        group.bench_function(format!("single_devmem_word/{}", model.name()), |b| {
+            let addr = translation.phys_start().expect("resident");
+            b.iter(|| black_box(debugger.read_phys_u32(&setup.kernel, addr).expect("readable")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scraping);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Substrate micro-benchmarks: DRAM access, DDR mapping, page-table walks,
+//! pagemap encoding, xmodel serialization and heap-image construction.
+//!
+//! These calibrate the cost of the building blocks every figure reproduction
+//! rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use vitis_ai_sim::runner::heap_image;
+use vitis_ai_sim::{Image, ModelKind, XModel};
+use zynq_dram::{DdrMapping, Dram, DramConfig, FrameNumber, OwnerTag, PAGE_SIZE};
+use zynq_mmu::{
+    pagemap, AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, PageTable,
+    PagemapEntry, VirtAddr,
+};
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    let cfg = DramConfig::tiny_for_tests();
+    let mut dram = Dram::new(cfg);
+    let base = cfg.base();
+    let owner = OwnerTag::new(1391);
+    let page = vec![0xA5u8; PAGE_SIZE as usize];
+
+    group.throughput(Throughput::Bytes(PAGE_SIZE));
+    group.bench_function("write_page", |b| {
+        b.iter(|| dram.write_bytes(black_box(base), black_box(&page), owner).unwrap())
+    });
+    group.bench_function("read_page", |b| {
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        b.iter(|| dram.read_bytes(black_box(base), &mut buf).unwrap())
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("read_u32_devmem_style", |b| {
+        b.iter(|| black_box(dram.read_u32(base).unwrap()))
+    });
+    group.bench_function("ddr_decompose_compose", |b| {
+        let mapping = DdrMapping::new(cfg);
+        b.iter(|| {
+            let coords = mapping.decompose(base + 0x1_2345).unwrap();
+            black_box(mapping.compose(coords))
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmu");
+
+    group.bench_function("page_table_map_unmap_64_pages", |b| {
+        b.iter(|| {
+            let mut table = PageTable::new();
+            for i in 0..64u64 {
+                table
+                    .map(
+                        VirtAddr::new(0xaaaa_ee77_5000 + i * PAGE_SIZE).page_number(),
+                        FrameNumber::new(0x61c6d + i),
+                        PagePermissions::read_write(),
+                    )
+                    .unwrap();
+            }
+            for i in 0..64u64 {
+                table
+                    .unmap(VirtAddr::new(0xaaaa_ee77_5000 + i * PAGE_SIZE).page_number())
+                    .unwrap();
+            }
+            black_box(table.mapped_count())
+        })
+    });
+
+    group.bench_function("translate_hit", |b| {
+        let mut table = PageTable::new();
+        let va = VirtAddr::new(0xaaaa_ee77_5000);
+        table
+            .map(
+                va.page_number(),
+                FrameNumber::new(0x61c6d),
+                PagePermissions::read_write(),
+            )
+            .unwrap();
+        b.iter(|| black_box(table.translate(va + 0x730)))
+    });
+
+    group.bench_function("heap_grow_64_pages", |b| {
+        b.iter(|| {
+            let mut frames = FrameAllocator::new(DramConfig::tiny_for_tests());
+            let mut space = AddressSpace::new(AddressSpaceLayout::petalinux_default());
+            space.grow_heap(64 * PAGE_SIZE, &mut frames).unwrap();
+            black_box(space.mapped_pages())
+        })
+    });
+
+    group.bench_function("pagemap_encode_decode_256_entries", |b| {
+        let entries: Vec<PagemapEntry> = (0..256u64)
+            .map(|i| PagemapEntry::present(FrameNumber::new(0x61c6d + i)))
+            .collect();
+        b.iter(|| {
+            let bytes = pagemap::encode_entries(&entries);
+            black_box(pagemap::decode_entries(&bytes).len())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_vitis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vitis");
+    group.sample_size(20);
+
+    group.bench_function("xmodel_serialize_parse/resnet50_pt", |b| {
+        let model = XModel::build(ModelKind::Resnet50Pt);
+        b.iter(|| {
+            let bytes = model.serialize();
+            black_box(XModel::parse(&bytes).unwrap().weights().len())
+        })
+    });
+
+    group.bench_function("heap_image_build/resnet50_pt", |b| {
+        let input = Image::corrupted(224, 224);
+        b.iter(|| black_box(heap_image(ModelKind::Resnet50Pt, &input).0.len()))
+    });
+
+    group.bench_function("inference_forward_pass/resnet50_pt", |b| {
+        let input = Image::sample_photo(224, 224);
+        b.iter(|| black_box(vitis_ai_sim::inference::run_inference(ModelKind::Resnet50Pt, &input)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_mmu, bench_vitis);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Step-2 benchmarks (FIG7/FIG8): maps parsing and virtual-to-physical
+//! translation through the debugger channel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use msa_bench::{attacker_debugger, bench_board, launch_victim};
+use msa_core::translate::capture_heap_translation;
+use petalinux_sim::procfs;
+use vitis_ai_sim::ModelKind;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(20);
+
+    for model in [ModelKind::SqueezeNet, ModelKind::Resnet50Pt, ModelKind::Vgg16] {
+        let setup = launch_victim(bench_board(), model);
+        let pid = setup.victim.pid();
+
+        group.bench_function(format!("capture_heap_translation/{}", model.name()), |b| {
+            let mut debugger = attacker_debugger();
+            b.iter(|| {
+                let translation = capture_heap_translation(&mut debugger, &setup.kernel, pid)
+                    .expect("translation captured");
+                black_box(translation.present_pages())
+            })
+        });
+
+        group.bench_function(format!("maps_render_and_parse/{}", model.name()), |b| {
+            let process = setup.kernel.process(pid).expect("victim exists");
+            b.iter(|| {
+                let maps = procfs::maps_file(process);
+                black_box(procfs::parse_heap_range(&maps))
+            })
+        });
+
+        group.bench_function(format!("point_translate/{}", model.name()), |b| {
+            let mut debugger = attacker_debugger();
+            let heap = setup.kernel.process(pid).expect("victim exists").heap_base();
+            b.iter(|| {
+                black_box(
+                    debugger
+                        .translate(&setup.kernel, pid, heap + 0x730)
+                        .expect("translation allowed"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,359 @@
+//! Regenerates every figure and table of the paper's evaluation as text.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p msa-bench --bin experiments            # everything
+//! cargo run -p msa-bench --bin experiments -- --fig11 # one artifact
+//! ```
+//!
+//! Flags: `--fig4` … `--fig12`, `--timing` (TAB-A), `--defenses` (TAB-B),
+//! `--fingerprint` (TAB-C), `--aslr` (TAB-D), `--boards` (TAB-E),
+//! `--multitenant` (TAB-F), `--all`.
+
+use msa_core::attack::{AttackConfig, AttackPipeline};
+use msa_core::defense::{
+    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
+    evaluate_sanitize_policies,
+};
+use msa_core::profile::Profiler;
+use msa_core::report::{bytes, percent, TextTable};
+use msa_core::scenario::AttackScenario;
+use petalinux_sim::{BoardConfig, Kernel, Shell};
+use vitis_ai_sim::{DpuRunner, Image, ModelKind};
+use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    if want("--fig4") {
+        fig4();
+    }
+    let figure_flags = [
+        "--fig5", "--fig6", "--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--fig12",
+        "--timing",
+    ];
+    if figure_flags.iter().any(|f| want(f)) {
+        attack_walkthrough(&want)?;
+    }
+    if want("--defenses") {
+        defenses()?;
+    }
+    if want("--fingerprint") {
+        fingerprint()?;
+    }
+    if want("--aslr") {
+        aslr()?;
+    }
+    if want("--boards") {
+        boards()?;
+    }
+    if want("--multitenant") {
+        multitenant()?;
+    }
+    Ok(())
+}
+
+fn board() -> BoardConfig {
+    BoardConfig::zcu104()
+}
+
+fn fig4() {
+    println!("=== FIG4: original vs corrupted input image ===");
+    let original = Image::sample_photo(224, 224);
+    let corrupted = Image::corrupted(224, 224);
+    println!("original : {original} ({} bytes)", original.as_bytes().len());
+    println!("corrupted: {corrupted}, every pixel set to 0xFFFFFF");
+    let ff_fraction = corrupted
+        .as_bytes()
+        .iter()
+        .filter(|&&b| b == 0xFF)
+        .count() as f64
+        / corrupted.as_bytes().len() as f64;
+    println!("corrupted 0xFF byte fraction: {}", percent(ff_fraction));
+    println!(
+        "pixel agreement original vs corrupted: {}\n",
+        percent(original.pixel_recovery_rate(&corrupted))
+    );
+}
+
+fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::error::Error>> {
+    let board = board();
+    let profiles = Profiler::new(board).profile_all();
+    let pipeline = AttackPipeline::new(AttackConfig::default()).with_profiles(profiles);
+
+    let mut kernel = Kernel::boot(board);
+    let shell = Shell::new(ATTACKER_USER);
+    let mut debugger = attacker_debugger();
+
+    // Background processes so the listings have the paper's shape (a kernel
+    // worker thread and the attacker's own shell).
+    kernel.spawn(VICTIM_USER, &["[kworker/3:0-events]"])?;
+    kernel.spawn(ATTACKER_USER, &["-sh"])?;
+
+    if want("--fig5") {
+        println!("=== FIG5: ps -ef before the victim runs ===");
+        print!("{}\n", shell.ps_ef(&kernel));
+    }
+
+    let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+        .with_input(Image::corrupted(224, 224))
+        .launch(&mut kernel, VICTIM_USER)?;
+
+    if want("--fig6") {
+        println!("=== FIG6: ps -ef with the victim running ===");
+        print!("{}\n", shell.ps_ef(&kernel));
+    }
+
+    let observation = pipeline.poll_and_observe(&mut debugger, &kernel)?;
+    let pid = observation.pid();
+    let translation = observation.translation();
+
+    if want("--fig7") {
+        println!("=== FIG7: heap range from /proc/{pid}/maps ===");
+        let maps = debugger.read_maps(&kernel, pid)?;
+        for line in maps.lines().filter(|l| l.contains("[heap]")) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    if want("--fig8") {
+        println!("=== FIG8: virtual-to-physical conversion of the heap bounds ===");
+        println!(
+            "./virtual_to_physical.out {pid} 0x{} -> {}",
+            translation.heap_start(),
+            translation.phys_start().expect("resident")
+        );
+        println!(
+            "./virtual_to_physical.out {pid} 0x{} -> {}",
+            translation.heap_end(),
+            translation.phys_end().expect("resident")
+        );
+        println!();
+    }
+
+    victim.terminate(&mut kernel)?;
+
+    if want("--fig9") {
+        println!("=== FIG9: ps -ef after victim termination (pid {pid} gone) ===");
+        print!("{}\n", shell.ps_ef(&kernel));
+    }
+
+    if want("--fig10") {
+        println!("=== FIG10: devmem reads of residual physical memory ===");
+        let start = translation.phys_start().expect("resident");
+        for offset in [0u64, 0x730, 0x1000, 0x2000] {
+            let word = debugger.read_phys_u32(&kernel, start + offset)?;
+            println!("devmem {} -> {:#010x}", start + offset, word);
+        }
+        println!();
+    }
+
+    let outcome = pipeline.execute(&mut debugger, &kernel, &observation)?;
+    let dump = pipeline.scrape_after_termination(&mut debugger, &kernel, &observation)?;
+
+    if want("--fig11") {
+        println!("=== FIG11: grep \"resnet50\" over the hexdump of the scraped heap ===");
+        for line in dump.to_hexdump().grep("resnet50").into_iter().take(4) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    if want("--fig12") {
+        println!("=== FIG12: corrupted-image marker (FFFF FFFF) rows and reconstruction ===");
+        if let Some(run) = outcome.marker_runs.first() {
+            println!(
+                "first marker run: heap offset {:#x}, {} bytes",
+                run.offset, run.len
+            );
+            let hexdump = dump.to_hexdump();
+            for row in hexdump.rows().skip(run.offset as usize / 16).take(4) {
+                println!("{}", row.render());
+            }
+        }
+        println!(
+            "reconstructed image matches victim input: {}",
+            percent(outcome.image_recovery_rate(&Image::corrupted(224, 224)))
+        );
+        println!();
+    }
+
+    if want("--timing") {
+        println!("=== TAB-A: per-step attack latency (this run) ===");
+        let mut table = TextTable::new(vec!["step", "wall-clock"]);
+        table.add_row(vec!["1. poll for pid".into(), format!("{:?}", outcome.timings.poll)]);
+        table.add_row(vec![
+            "2. translate heap".into(),
+            format!("{:?}", outcome.timings.translate),
+        ]);
+        table.add_row(vec![
+            "3. scrape physical memory".into(),
+            format!("{:?}", outcome.timings.scrape),
+        ]);
+        table.add_row(vec![
+            "4. analyse dump".into(),
+            format!("{:?}", outcome.timings.analyze),
+        ]);
+        table.add_row(vec!["total".into(), format!("{:?}", outcome.timings.total())]);
+        println!("{table}");
+        println!(
+            "bytes scraped: {}, dump coverage: {}\n",
+            bytes(outcome.bytes_scraped as u64),
+            percent(outcome.dump_coverage)
+        );
+    }
+    Ok(())
+}
+
+fn defenses() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== TAB-B: sanitization policies vs the attack (victim: resnet50_pt) ===");
+    let mut table = TextTable::new(vec![
+        "policy",
+        "model identified",
+        "pixel recovery",
+        "residue frames",
+        "scrub cost (cycles)",
+        "collateral",
+    ]);
+    for row in evaluate_sanitize_policies(board(), ModelKind::Resnet50Pt)? {
+        table.add_row(vec![
+            row.policy.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+            row.residue_frames.to_string(),
+            format!("{:.0}", row.scrub_cost_cycles),
+            bytes(row.collateral_bytes),
+        ]);
+    }
+    println!("{table}");
+
+    println!("=== isolation-policy ablation ===");
+    let mut table = TextTable::new(vec![
+        "isolation",
+        "attack completed",
+        "model identified",
+        "pixel recovery",
+        "blocked at",
+    ]);
+    for row in evaluate_isolation(board(), ModelKind::Resnet50Pt)? {
+        table.add_row(vec![
+            row.isolation.to_string(),
+            row.attack_completed.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+            row.blocked_at.unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn fingerprint() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== TAB-C: model identification accuracy across the zoo ===");
+    let board = board();
+    let profiles = Profiler::new(board).profile_all();
+    let mut table = TextTable::new(vec![
+        "victim model",
+        "identified as",
+        "correct",
+        "confidence",
+        "image recovered",
+    ]);
+    let mut correct = 0usize;
+    for model in ModelKind::all() {
+        let outcome = AttackScenario::new(board, model)
+            .with_profiles(profiles.clone())
+            .execute()?;
+        if outcome.model_identification_correct() {
+            correct += 1;
+        }
+        table.add_row(vec![
+            model.to_string(),
+            outcome
+                .identified_model()
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "<none>".into()),
+            outcome.model_identification_correct().to_string(),
+            percent(outcome.attack().identification_confidence()),
+            percent(outcome.pixel_recovery_rate()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "identification accuracy: {}/{}\n",
+        correct,
+        ModelKind::all().len()
+    );
+    Ok(())
+}
+
+fn aslr() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== TAB-D: layout randomization vs the attack ===");
+    let mut table = TextTable::new(vec![
+        "allocation order",
+        "aslr",
+        "scrape mode",
+        "model identified",
+        "pixel recovery",
+    ]);
+    for row in evaluate_layout_randomization(board(), ModelKind::Resnet50Pt)? {
+        table.add_row(vec![
+            row.allocation_order.to_string(),
+            row.aslr.to_string(),
+            row.scrape_mode.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn boards() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== TAB-E: attack success per board preset ===");
+    let mut table = TextTable::new(vec![
+        "board",
+        "dram window",
+        "model identified",
+        "pixel recovery",
+        "residue frames",
+    ]);
+    for (name, config) in [("ZCU104", BoardConfig::zcu104()), ("ZCU102", BoardConfig::zcu102())] {
+        let outcome = AttackScenario::new(config, ModelKind::Resnet50Pt)
+            .with_corrupted_input()
+            .execute()?;
+        table.add_row(vec![
+            name.to_string(),
+            bytes(config.dram().capacity()),
+            outcome.model_identification_correct().to_string(),
+            percent(outcome.pixel_recovery_rate()),
+            outcome.residue_frames_after().to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn multitenant() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== TAB-F: multi-tenant residue and sanitizer collateral ===");
+    let mut table = TextTable::new(vec![
+        "policy",
+        "victim model identified",
+        "active tenant clobbered",
+        "active tenant intact",
+    ]);
+    for row in evaluate_multi_tenant(board(), ModelKind::SqueezeNet, ModelKind::MobileNetV2)? {
+        table.add_row(vec![
+            row.policy.to_string(),
+            row.victim_model_identified.to_string(),
+            bytes(row.active_tenant_bytes_clobbered),
+            row.active_tenant_data_intact.to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}

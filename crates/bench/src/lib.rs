@@ -1,0 +1,89 @@
+//! # msa-bench — experiment harness and benchmark support
+//!
+//! This crate hosts two things:
+//!
+//! - the `experiments` binary, which regenerates every figure and table of
+//!   the paper's evaluation (and the extension tables described in
+//!   `DESIGN.md`) as plain text, and
+//! - the Criterion benchmarks (`benches/*.rs`), one group per
+//!   figure/table, measuring the cost of each attack step and of each
+//!   defense.
+//!
+//! The helpers here are shared between the two.
+
+use msa_core::attack::{AttackConfig, AttackPipeline};
+use msa_core::profile::{ProfileDatabase, Profiler};
+use petalinux_sim::{BoardConfig, Kernel, UserId};
+use vitis_ai_sim::{DpuRunner, Image, LaunchedRun, ModelKind};
+use xsdb::DebugSession;
+
+/// The victim user id used throughout the experiments.
+pub const VICTIM_USER: UserId = UserId::new(0);
+
+/// The attacker user id used throughout the experiments.
+pub const ATTACKER_USER: UserId = UserId::new(1);
+
+/// The board configuration benchmarks run on (the small test window, so each
+/// iteration stays cheap); the `experiments` binary uses the full ZCU104
+/// preset instead.
+pub fn bench_board() -> BoardConfig {
+    BoardConfig::tiny_for_tests()
+}
+
+/// Builds a profile database for the whole zoo on `board`.
+pub fn profile_zoo(board: BoardConfig) -> ProfileDatabase {
+    Profiler::new(board).profile_all()
+}
+
+/// Builds an attack pipeline with zoo profiles attached.
+pub fn profiled_pipeline(board: BoardConfig) -> AttackPipeline {
+    AttackPipeline::new(AttackConfig::default()).with_profiles(profile_zoo(board))
+}
+
+/// A board with one victim model launched (still running) and the corrupted
+/// input loaded — the state in which the attacker starts observing.
+pub struct VictimSetup {
+    /// The booted kernel.
+    pub kernel: Kernel,
+    /// The still-running victim.
+    pub victim: LaunchedRun,
+}
+
+/// Boots a board and launches `model` with the corrupted input.
+///
+/// # Panics
+///
+/// Panics if the launch fails (it cannot on the preset boards).
+pub fn launch_victim(board: BoardConfig, model: ModelKind) -> VictimSetup {
+    let mut kernel = Kernel::boot(board);
+    let (w, h) = model.input_dims();
+    let victim = DpuRunner::new(model)
+        .with_input(Image::corrupted(w, h))
+        .launch(&mut kernel, VICTIM_USER)
+        .expect("victim launches on a preset board");
+    VictimSetup { kernel, victim }
+}
+
+/// Connects the attacker's debugger session.
+pub fn attacker_debugger() -> DebugSession {
+    DebugSession::connect(ATTACKER_USER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_consistent_state() {
+        let board = bench_board();
+        let setup = launch_victim(board, ModelKind::SqueezeNet);
+        assert!(setup
+            .kernel
+            .process(setup.victim.pid())
+            .unwrap()
+            .is_running());
+        let pipeline = profiled_pipeline(board);
+        assert_eq!(pipeline.profiles().len(), ModelKind::all().len());
+        assert_eq!(attacker_debugger().user(), ATTACKER_USER);
+    }
+}

@@ -1,0 +1,165 @@
+//! Marker scanning: locating `FFFF FFFF` / `5555 5555` runs in the dump.
+//!
+//! The paper finds the corrupted input image by searching the hexdump for the
+//! `FFFF FFFF` identifier (Figure 12), and learns the image's offset offline
+//! by searching for `5555 5555` in a profiling run.  This module provides the
+//! run-length scanner behind both steps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dump::MemoryDump;
+
+/// The corrupted-image marker word (`0xFFFFFF` pixels produce all-0xFF bytes).
+pub const CORRUPTED_MARKER: u32 = 0xFFFF_FFFF;
+
+/// The offline-profiling sentinel word (`0x555555` pixels).
+pub const SENTINEL_MARKER: u32 = 0x5555_5555;
+
+/// A maximal run of a repeated marker word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarkerRun {
+    /// Byte offset of the run within the dump.
+    pub offset: u64,
+    /// Length of the run in bytes.
+    pub len: u64,
+}
+
+impl MarkerRun {
+    /// One past the last byte of the run.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Finds maximal runs of `marker` (repeated little-endian 32-bit words) that
+/// are at least `min_len` bytes long.
+pub fn marker_runs(dump: &MemoryDump, marker: u32, min_len: u64) -> Vec<MarkerRun> {
+    let pattern = marker.to_le_bytes();
+    let bytes = dump.as_bytes();
+    let mut runs = Vec::new();
+    let mut i = 0usize;
+    while i + 4 <= bytes.len() {
+        if bytes[i..i + 4] == pattern {
+            let start = i;
+            while i + 4 <= bytes.len() && bytes[i..i + 4] == pattern {
+                i += 4;
+            }
+            // Extend over a partial trailing word of the same byte (runs of a
+            // repeated byte are not word-quantized in the dump).
+            while i < bytes.len() && bytes[i] == pattern[0] && pattern.iter().all(|&b| b == pattern[0]) {
+                i += 1;
+            }
+            let len = (i - start) as u64;
+            if len >= min_len {
+                runs.push(MarkerRun {
+                    offset: start as u64,
+                    len,
+                });
+            }
+        } else {
+            i += 1;
+        }
+    }
+    runs
+}
+
+/// The first marker run of at least `min_len` bytes, if any.
+///
+/// The paper uses the first occurrence as the image's starting offset.
+pub fn first_marker_offset(dump: &MemoryDump, marker: u32, min_len: u64) -> Option<u64> {
+    marker_runs(dump, marker, min_len).first().map(|r| r.offset)
+}
+
+/// Total number of marker bytes in the dump (a coarse "how much of the image
+/// survived" measure used by the defense experiments).
+pub fn marker_bytes(dump: &MemoryDump, marker: u32) -> u64 {
+    marker_runs(dump, marker, 4).iter().map(|r| r.len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zynq_dram::PhysAddr;
+    use zynq_mmu::VirtAddr;
+
+    fn dump_of(bytes: Vec<u8>) -> MemoryDump {
+        MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), bytes)
+    }
+
+    #[test]
+    fn finds_a_single_run_at_the_right_offset() {
+        let mut bytes = vec![0u8; 100];
+        bytes.extend_from_slice(&[0xFF; 64]);
+        bytes.extend_from_slice(&[0u8; 36]);
+        let dump = dump_of(bytes);
+        let runs = marker_runs(&dump, CORRUPTED_MARKER, 16);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].offset, 100);
+        assert_eq!(runs[0].len, 64);
+        assert_eq!(runs[0].end(), 164);
+        assert_eq!(first_marker_offset(&dump, CORRUPTED_MARKER, 16), Some(100));
+        assert_eq!(marker_bytes(&dump, CORRUPTED_MARKER), 64);
+    }
+
+    #[test]
+    fn respects_min_len_and_multiple_runs() {
+        let mut bytes = vec![0u8; 16];
+        bytes.extend_from_slice(&[0x55; 8]); // short run
+        bytes.extend_from_slice(&[0u8; 16]);
+        bytes.extend_from_slice(&[0x55; 32]); // long run
+        let dump = dump_of(bytes);
+        let long_only = marker_runs(&dump, SENTINEL_MARKER, 16);
+        assert_eq!(long_only.len(), 1);
+        assert_eq!(long_only[0].offset, 40);
+        let all = marker_runs(&dump, SENTINEL_MARKER, 4);
+        assert_eq!(all.len(), 2);
+        assert_eq!(marker_bytes(&dump, SENTINEL_MARKER), 40);
+    }
+
+    #[test]
+    fn unaligned_run_is_still_found() {
+        let mut bytes = vec![0u8; 3];
+        bytes.extend_from_slice(&[0xFF; 20]);
+        bytes.push(0);
+        let dump = dump_of(bytes);
+        let runs = marker_runs(&dump, CORRUPTED_MARKER, 8);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].offset, 3);
+        assert_eq!(runs[0].len, 20);
+    }
+
+    #[test]
+    fn no_marker_means_no_runs() {
+        let dump = dump_of(vec![0u8; 256]);
+        assert!(marker_runs(&dump, CORRUPTED_MARKER, 4).is_empty());
+        assert!(first_marker_offset(&dump, CORRUPTED_MARKER, 4).is_none());
+        assert_eq!(marker_bytes(&dump, CORRUPTED_MARKER), 0);
+        // Empty dump.
+        assert!(marker_runs(&dump_of(Vec::new()), CORRUPTED_MARKER, 4).is_empty());
+    }
+
+    #[test]
+    fn distinct_markers_do_not_interfere() {
+        let mut bytes = vec![0xFFu8; 16];
+        bytes.extend_from_slice(&[0x55; 16]);
+        let dump = dump_of(bytes);
+        assert_eq!(
+            first_marker_offset(&dump, CORRUPTED_MARKER, 8),
+            Some(0)
+        );
+        assert_eq!(first_marker_offset(&dump, SENTINEL_MARKER, 8), Some(16));
+    }
+
+    #[test]
+    fn non_repeating_marker_word_matches_exact_sequences_only() {
+        // A marker whose bytes are not all identical (regression for the
+        // tail-extension logic).
+        let marker = 0x0102_0304u32;
+        let mut bytes = marker.to_le_bytes().repeat(3);
+        bytes.push(0x04);
+        let dump = dump_of(bytes);
+        let runs = marker_runs(&dump, marker, 4);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len, 12);
+    }
+}

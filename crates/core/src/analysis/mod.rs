@@ -1,0 +1,18 @@
+//! Step 4: analysis of the extracted data.
+//!
+//! - [`strings`] — identify the executed model from library-path strings in
+//!   the dump (the paper's Step 4.a).
+//! - [`marker`] — locate runs of the corrupted-image / profiling-sentinel
+//!   markers (`FFFF FFFF`, `5555 5555`).
+//! - [`image`] — reconstruct the victim's input image at a profiled offset
+//!   (the paper's Step 4.b) and score the reconstruction.
+//! - [`weights`] — identify the model by matching the scraped weight blob
+//!   against the public library (a string-free identification modality).
+//! - [`entropy`] — model-agnostic dump characterization: classify windows of
+//!   the dump as zero / filler / text / high-entropy / structured regions.
+
+pub mod entropy;
+pub mod image;
+pub mod marker;
+pub mod strings;
+pub mod weights;

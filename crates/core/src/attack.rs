@@ -1,0 +1,503 @@
+//! The attack pipeline: the paper's four steps as a composable API.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use petalinux_sim::{Kernel, Pid};
+use vitis_ai_sim::ModelKind;
+use xsdb::DebugSession;
+
+use crate::analysis::image::reconstruct_image;
+use crate::analysis::marker::{marker_runs, CORRUPTED_MARKER};
+use crate::analysis::strings::identify_model;
+use crate::dump::MemoryDump;
+use crate::error::AttackError;
+use crate::metrics::{AttackOutcome, OffsetSource, StepTimings};
+use crate::profile::ProfileDatabase;
+use crate::scrape::scrape_heap;
+use crate::signature::SignatureDb;
+use crate::translate::{capture_heap_translation, HeapTranslation};
+
+/// How physical memory is read during scraping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ScrapeMode {
+    /// Translate only the heap endpoints and read the contiguous physical
+    /// range between them (the paper's method; assumes a physically
+    /// contiguous heap).
+    ContiguousRange,
+    /// Translate and read every heap page individually (a stronger attacker
+    /// that survives physical-layout randomization).
+    PerPage,
+}
+
+impl Default for ScrapeMode {
+    fn default() -> Self {
+        ScrapeMode::ContiguousRange
+    }
+}
+
+impl std::fmt::Display for ScrapeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeMode::ContiguousRange => write!(f, "contiguous-range"),
+            ScrapeMode::PerPage => write!(f, "per-page"),
+        }
+    }
+}
+
+/// Configuration of the attack pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// How to read physical memory in Step 3.
+    pub scrape_mode: ScrapeMode,
+    /// Command-line substring identifying the victim in Step 1.  When `None`,
+    /// any process whose command line mentions a zoo model is targeted.
+    pub victim_pattern: Option<String>,
+    /// Minimum marker-run length (bytes) considered image evidence.
+    pub marker_min_run: u64,
+    /// Minimum identification confidence required before using a profile's
+    /// image offset.
+    pub min_identification_confidence: f64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            scrape_mode: ScrapeMode::ContiguousRange,
+            victim_pattern: None,
+            marker_min_run: 256,
+            min_identification_confidence: 0.3,
+        }
+    }
+}
+
+/// The state captured while the victim is still running (Steps 1–2): its pid
+/// and its heap translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    translation: HeapTranslation,
+    poll_elapsed: std::time::Duration,
+    translate_elapsed: std::time::Duration,
+}
+
+impl Observation {
+    /// The victim's pid.
+    pub fn pid(&self) -> Pid {
+        self.translation.pid()
+    }
+
+    /// The captured heap translation.
+    pub fn translation(&self) -> &HeapTranslation {
+        &self.translation
+    }
+}
+
+/// Result of Step 4 alone (analysis of a dump), before being folded into an
+/// [`AttackOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The identification result.
+    pub identified: Option<crate::signature::ModelMatch>,
+    /// Corrupted-image marker runs found in the dump.
+    pub marker_runs: Vec<crate::analysis::marker::MarkerRun>,
+    /// The reconstructed image, if any.
+    pub reconstructed_image: Option<vitis_ai_sim::Image>,
+    /// Where the reconstruction offset came from.
+    pub image_offset_used: Option<OffsetSource>,
+}
+
+/// The memory scraping attack.
+///
+/// # Example
+///
+/// ```
+/// use msa_core::attack::{AttackConfig, AttackPipeline};
+/// use msa_core::profile::Profiler;
+/// use petalinux_sim::{BoardConfig, Kernel, UserId};
+/// use vitis_ai_sim::{DpuRunner, Image, ModelKind};
+/// use xsdb::DebugSession;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let board = BoardConfig::tiny_for_tests();
+/// // Offline: profile the public library on the attacker's own board.
+/// let profiles = Profiler::new(board).profile_all();
+/// let pipeline = AttackPipeline::new(AttackConfig::default()).with_profiles(profiles);
+///
+/// // Online: the victim runs; the attacker observes, waits, scrapes.
+/// let mut kernel = Kernel::boot(board);
+/// let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+///     .with_input(Image::corrupted(224, 224))
+///     .launch(&mut kernel, UserId::new(0))?;
+/// let mut debugger = DebugSession::connect(UserId::new(1));
+///
+/// let pid = pipeline.poll_for_victim(&mut debugger, &kernel)?;
+/// let observation = pipeline.observe_victim(&mut debugger, &kernel, pid)?;
+/// victim.terminate(&mut kernel)?;
+/// let outcome = pipeline.execute(&mut debugger, &kernel, &observation)?;
+/// assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AttackPipeline {
+    config: AttackConfig,
+    signatures: SignatureDb,
+    profiles: ProfileDatabase,
+}
+
+impl AttackPipeline {
+    /// Creates a pipeline with the standard signature database and no
+    /// profiles.
+    pub fn new(config: AttackConfig) -> Self {
+        AttackPipeline {
+            config,
+            signatures: SignatureDb::standard(),
+            profiles: ProfileDatabase::new(),
+        }
+    }
+
+    /// Attaches an offline-profiling database (enables image reconstruction
+    /// at profiled offsets).
+    pub fn with_profiles(mut self, profiles: ProfileDatabase) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Replaces the signature database.
+    pub fn with_signatures(mut self, signatures: SignatureDb) -> Self {
+        self.signatures = signatures;
+        self
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// The attached profile database.
+    pub fn profiles(&self) -> &ProfileDatabase {
+        &self.profiles
+    }
+
+    /// Step 1: poll the process list for a victim.
+    ///
+    /// A process matches when its command line contains the configured
+    /// pattern, or — with no pattern configured — the name of any zoo model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::VictimNotFound`] when nothing matches.
+    pub fn poll_for_victim(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+    ) -> Result<Pid, AttackError> {
+        let processes = debugger.list_processes(kernel);
+        let matched = processes.into_iter().find(|p| match &self.config.victim_pattern {
+            Some(pattern) => p.command.contains(pattern),
+            None => ModelKind::all()
+                .iter()
+                .any(|model| p.command.contains(model.name())),
+        });
+        matched.map(|p| p.pid).ok_or(AttackError::VictimNotFound)
+    }
+
+    /// Steps 1–2 combined: capture the victim's heap translation while it is
+    /// still running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors (missing heap, denied access, …).
+    pub fn observe_victim(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+        pid: Pid,
+    ) -> Result<Observation, AttackError> {
+        let start = Instant::now();
+        let translation = capture_heap_translation(debugger, kernel, pid)?;
+        Ok(Observation {
+            translation,
+            poll_elapsed: std::time::Duration::ZERO,
+            translate_elapsed: start.elapsed(),
+        })
+    }
+
+    /// Convenience for Steps 1–2: poll, then observe whichever victim was
+    /// found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates polling and translation errors.
+    pub fn poll_and_observe(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+    ) -> Result<Observation, AttackError> {
+        let poll_start = Instant::now();
+        let pid = self.poll_for_victim(debugger, kernel)?;
+        let poll_elapsed = poll_start.elapsed();
+        let mut observation = self.observe_victim(debugger, kernel, pid)?;
+        observation.poll_elapsed = poll_elapsed;
+        Ok(observation)
+    }
+
+    /// Step 3: scrape the victim's heap from physical memory, requiring that
+    /// the victim has terminated (as the paper's procedure does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::VictimStillRunning`] if the pid is still in the
+    /// process list, plus any scraping errors.
+    pub fn scrape_after_termination(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+        observation: &Observation,
+    ) -> Result<MemoryDump, AttackError> {
+        if debugger.is_running(kernel, observation.pid()) {
+            return Err(AttackError::VictimStillRunning {
+                pid: observation.pid(),
+            });
+        }
+        scrape_heap(
+            debugger,
+            kernel,
+            observation.translation(),
+            self.config.scrape_mode,
+        )
+    }
+
+    /// Step 4: analyse a dump — identify the model, find image markers,
+    /// reconstruct the image.
+    pub fn analyze(&self, dump: &MemoryDump) -> Analysis {
+        let identified = identify_model(dump, &self.signatures);
+        let runs = marker_runs(dump, CORRUPTED_MARKER, self.config.marker_min_run);
+
+        let mut image_offset_used = None;
+        let mut reconstructed_image = None;
+        if let Some(matched) = &identified {
+            if matched.confidence() >= self.config.min_identification_confidence
+                && matched.model.accepts_image_input()
+            {
+                // Preferred: the offset learned by offline profiling.
+                if let Some(profile) = self.profiles.profile(matched.model) {
+                    image_offset_used = Some(OffsetSource::Profile {
+                        offset: profile.image_offset,
+                    });
+                } else if let Some(run) = runs.first() {
+                    // Fallback: the first corrupted-image marker run.
+                    image_offset_used = Some(OffsetSource::Marker { offset: run.offset });
+                }
+                if let Some(source) = image_offset_used {
+                    reconstructed_image =
+                        reconstruct_image(dump, matched.model, source.offset());
+                }
+            }
+        }
+
+        Analysis {
+            identified,
+            marker_runs: runs,
+            reconstructed_image,
+            image_offset_used,
+        }
+    }
+
+    /// Steps 3–4: scrape the terminated victim and analyse the dump,
+    /// producing the full [`AttackOutcome`] with timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scraping errors.
+    pub fn execute(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+        observation: &Observation,
+    ) -> Result<AttackOutcome, AttackError> {
+        let scrape_start = Instant::now();
+        let dump = self.scrape_after_termination(debugger, kernel, observation)?;
+        let scrape_elapsed = scrape_start.elapsed();
+
+        let analyze_start = Instant::now();
+        let analysis = self.analyze(&dump);
+        let analyze_elapsed = analyze_start.elapsed();
+
+        Ok(AttackOutcome {
+            victim_pid: observation.pid(),
+            identified: analysis.identified,
+            marker_runs: analysis.marker_runs,
+            reconstructed_image: analysis.reconstructed_image,
+            image_offset_used: analysis.image_offset_used,
+            bytes_scraped: dump.len(),
+            dump_coverage: dump.coverage(),
+            timings: StepTimings {
+                poll: observation.poll_elapsed,
+                translate: observation.translate_elapsed,
+                scrape: scrape_elapsed,
+                analyze: analyze_elapsed,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petalinux_sim::{BoardConfig, UserId};
+    use vitis_ai_sim::{DpuRunner, Image};
+
+    use crate::profile::Profiler;
+
+    fn board() -> BoardConfig {
+        BoardConfig::tiny_for_tests()
+    }
+
+    fn pipeline_with_profiles() -> AttackPipeline {
+        let profiles = Profiler::new(board()).profile_all();
+        AttackPipeline::new(AttackConfig::default()).with_profiles(profiles)
+    }
+
+    #[test]
+    fn full_pipeline_recovers_model_and_image() {
+        let pipeline = pipeline_with_profiles();
+        let mut kernel = Kernel::boot(board());
+        let input = Image::sample_photo(224, 224);
+        let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+            .with_input(input.clone())
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
+        assert_eq!(observation.pid(), victim.pid());
+        assert!(observation.translation().completeness() > 0.99);
+
+        victim.terminate(&mut kernel).unwrap();
+        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+
+        assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
+        assert!(outcome.identification_confidence() >= 0.5);
+        assert!(outcome.has_reconstructed_image());
+        assert_eq!(outcome.image_recovery_rate(&input), 1.0);
+        assert!(matches!(
+            outcome.image_offset_used,
+            Some(OffsetSource::Profile { .. })
+        ));
+        assert!(outcome.bytes_scraped > 0);
+        assert_eq!(outcome.dump_coverage, 1.0);
+        // An ordinary photo contains no long 0xFF runs.
+        assert!(outcome.marker_runs.is_empty());
+    }
+
+    #[test]
+    fn corrupted_image_is_found_via_marker_without_profiles() {
+        // No profiles attached: the marker fallback locates the image.
+        let pipeline = AttackPipeline::new(AttackConfig::default());
+        assert!(pipeline.profiles().is_empty());
+        let mut kernel = Kernel::boot(board());
+        let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+            .with_input(Image::corrupted(224, 224))
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
+        victim.terminate(&mut kernel).unwrap();
+        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+
+        assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
+        assert!(!outcome.marker_runs.is_empty());
+        assert!(matches!(
+            outcome.image_offset_used,
+            Some(OffsetSource::Marker { .. })
+        ));
+        assert_eq!(
+            outcome.image_recovery_rate(&Image::corrupted(224, 224)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn polling_honours_explicit_pattern_and_fails_cleanly() {
+        let mut kernel = Kernel::boot(board());
+        kernel.spawn(UserId::new(0), &["sh"]).unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+
+        let default_pipeline = AttackPipeline::new(AttackConfig::default());
+        assert!(matches!(
+            default_pipeline.poll_for_victim(&mut debugger, &kernel),
+            Err(AttackError::VictimNotFound)
+        ));
+
+        let victim = DpuRunner::new(ModelKind::YoloV3)
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        assert_eq!(
+            default_pipeline
+                .poll_for_victim(&mut debugger, &kernel)
+                .unwrap(),
+            victim.pid()
+        );
+
+        let targeted = AttackPipeline::new(AttackConfig {
+            victim_pattern: Some("resnet50".to_string()),
+            ..AttackConfig::default()
+        });
+        assert!(matches!(
+            targeted.poll_for_victim(&mut debugger, &kernel),
+            Err(AttackError::VictimNotFound)
+        ));
+    }
+
+    #[test]
+    fn scraping_before_termination_is_refused() {
+        let pipeline = AttackPipeline::new(AttackConfig::default());
+        let mut kernel = Kernel::boot(board());
+        let _victim = DpuRunner::new(ModelKind::SqueezeNet)
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
+        assert!(matches!(
+            pipeline.scrape_after_termination(&mut debugger, &kernel, &observation),
+            Err(AttackError::VictimStillRunning { .. })
+        ));
+    }
+
+    #[test]
+    fn sanitized_board_defeats_the_attack() {
+        use zynq_dram::SanitizePolicy;
+        let hardened = board().with_sanitize_policy(SanitizePolicy::ZeroOnFree);
+        let profiles = Profiler::new(board()).profile_all();
+        let pipeline = AttackPipeline::new(AttackConfig::default()).with_profiles(profiles);
+        let mut kernel = Kernel::boot(hardened);
+        let input = Image::corrupted(224, 224);
+        let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+            .with_input(input.clone())
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
+        victim.terminate(&mut kernel).unwrap();
+        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+
+        assert!(outcome.identified_model().is_none());
+        assert!(outcome.marker_runs.is_empty());
+        assert!(!outcome.has_reconstructed_image());
+        assert_eq!(outcome.image_recovery_rate(&input), 0.0);
+    }
+
+    #[test]
+    fn config_and_mode_defaults() {
+        let config = AttackConfig::default();
+        assert_eq!(config.scrape_mode, ScrapeMode::ContiguousRange);
+        assert!(config.victim_pattern.is_none());
+        assert_eq!(ScrapeMode::default(), ScrapeMode::ContiguousRange);
+        assert_eq!(ScrapeMode::ContiguousRange.to_string(), "contiguous-range");
+        assert_eq!(ScrapeMode::PerPage.to_string(), "per-page");
+        let pipeline = AttackPipeline::default();
+        assert_eq!(pipeline.config(), &AttackConfig::default());
+    }
+}

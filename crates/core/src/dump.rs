@@ -1,0 +1,263 @@
+//! The scraped memory dump.
+
+use serde::{Deserialize, Serialize};
+use zynq_dram::{PhysAddr, PAGE_SIZE};
+use zynq_mmu::VirtAddr;
+
+use crate::hexdump::HexDump;
+
+/// The data recovered from the victim's heap, reassembled in virtual-address
+/// order (the order the paper's hexdump file uses).
+///
+/// A dump records, per page, which physical frame the bytes came from (if
+/// any) so experiments can reason about coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryDump {
+    heap_start: VirtAddr,
+    bytes: Vec<u8>,
+    page_sources: Vec<Option<PhysAddr>>,
+}
+
+impl MemoryDump {
+    /// Assembles a dump from per-page captures.
+    ///
+    /// `pages` holds, for each heap page in order, the physical address the
+    /// page was read from and its bytes, or `None` when the page could not be
+    /// captured (it then reads as zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a captured page is not exactly [`PAGE_SIZE`] bytes.
+    pub fn from_pages(heap_start: VirtAddr, pages: Vec<Option<(PhysAddr, Vec<u8>)>>) -> Self {
+        let mut bytes = Vec::with_capacity(pages.len() * PAGE_SIZE as usize);
+        let mut sources = Vec::with_capacity(pages.len());
+        for page in pages {
+            match page {
+                Some((pa, data)) => {
+                    assert_eq!(
+                        data.len(),
+                        PAGE_SIZE as usize,
+                        "captured page must be PAGE_SIZE bytes"
+                    );
+                    bytes.extend_from_slice(&data);
+                    sources.push(Some(pa));
+                }
+                None => {
+                    bytes.extend(std::iter::repeat(0u8).take(PAGE_SIZE as usize));
+                    sources.push(None);
+                }
+            }
+        }
+        MemoryDump {
+            heap_start,
+            bytes,
+            page_sources: sources,
+        }
+    }
+
+    /// Assembles a dump from one contiguous physical read (the paper's
+    /// endpoint-based method).
+    pub fn from_contiguous(heap_start: VirtAddr, phys_start: PhysAddr, bytes: Vec<u8>) -> Self {
+        let page_count = bytes.len().div_ceil(PAGE_SIZE as usize);
+        let sources = (0..page_count)
+            .map(|i| Some(phys_start + (i as u64) * PAGE_SIZE))
+            .collect();
+        MemoryDump {
+            heap_start,
+            bytes,
+            page_sources: sources,
+        }
+    }
+
+    /// An empty dump (used when scraping was denied or produced nothing).
+    pub fn empty(heap_start: VirtAddr) -> Self {
+        MemoryDump {
+            heap_start,
+            bytes: Vec::new(),
+            page_sources: Vec::new(),
+        }
+    }
+
+    /// Virtual address the dump starts at (the victim's heap base).
+    pub fn heap_start(&self) -> VirtAddr {
+        self.heap_start
+    }
+
+    /// The dump's bytes, in virtual-address order.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length of the dump in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of pages that were actually captured from physical memory.
+    pub fn captured_pages(&self) -> usize {
+        self.page_sources.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of pages that could not be captured.
+    pub fn missing_pages(&self) -> usize {
+        self.page_sources.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Physical source of each page, in order.
+    pub fn page_sources(&self) -> &[Option<PhysAddr>] {
+        &self.page_sources
+    }
+
+    /// Fraction of pages captured (1.0 when nothing is missing; 0.0 for an
+    /// empty dump).
+    pub fn coverage(&self) -> f64 {
+        if self.page_sources.is_empty() {
+            return 0.0;
+        }
+        self.captured_pages() as f64 / self.page_sources.len() as f64
+    }
+
+    /// The bytes at heap-relative `offset`, if the dump extends that far.
+    pub fn slice(&self, offset: u64, len: usize) -> Option<&[u8]> {
+        let start = offset as usize;
+        let end = start.checked_add(len)?;
+        self.bytes.get(start..end)
+    }
+
+    /// Builds the hexdump view of the data (the `<pid>_hexdump.log` file the
+    /// paper's scripts produce).
+    pub fn to_hexdump(&self) -> HexDump {
+        HexDump::new(self.bytes.clone())
+    }
+
+    /// Extracts printable ASCII strings of at least `min_len` characters.
+    pub fn ascii_strings(&self, min_len: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for &byte in &self.bytes {
+            if (0x20..0x7f).contains(&byte) {
+                current.push(byte as char);
+            } else {
+                if current.len() >= min_len {
+                    out.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+        }
+        if current.len() >= min_len {
+            out.push(current);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn from_pages_assembles_in_order_with_gaps_as_zero() {
+        let pa = PhysAddr::new(0x6_0000_0000);
+        let dump = MemoryDump::from_pages(
+            VirtAddr::new(0xaaaa_ee77_5000),
+            vec![
+                Some((pa, page_of(0xAA))),
+                None,
+                Some((pa + 2 * PAGE_SIZE, page_of(0xBB))),
+            ],
+        );
+        assert_eq!(dump.len(), 3 * PAGE_SIZE as usize);
+        assert_eq!(dump.as_bytes()[0], 0xAA);
+        assert_eq!(dump.as_bytes()[PAGE_SIZE as usize], 0x00);
+        assert_eq!(dump.as_bytes()[2 * PAGE_SIZE as usize], 0xBB);
+        assert_eq!(dump.captured_pages(), 2);
+        assert_eq!(dump.missing_pages(), 1);
+        assert!((dump.coverage() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(dump.page_sources()[1], None);
+        assert!(!dump.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "PAGE_SIZE")]
+    fn from_pages_rejects_short_pages() {
+        let _ = MemoryDump::from_pages(
+            VirtAddr::new(0),
+            vec![Some((PhysAddr::new(0), vec![0u8; 10]))],
+        );
+    }
+
+    #[test]
+    fn from_contiguous_records_sources() {
+        let dump = MemoryDump::from_contiguous(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x6_0000_0000),
+            vec![0u8; (2 * PAGE_SIZE + 100) as usize],
+        );
+        assert_eq!(dump.captured_pages(), 3);
+        assert_eq!(dump.missing_pages(), 0);
+        assert_eq!(dump.coverage(), 1.0);
+        assert_eq!(
+            dump.page_sources()[1],
+            Some(PhysAddr::new(0x6_0000_0000) + PAGE_SIZE)
+        );
+    }
+
+    #[test]
+    fn empty_dump() {
+        let dump = MemoryDump::empty(VirtAddr::new(0x1000));
+        assert!(dump.is_empty());
+        assert_eq!(dump.len(), 0);
+        assert_eq!(dump.coverage(), 0.0);
+        assert_eq!(dump.heap_start(), VirtAddr::new(0x1000));
+        assert!(dump.slice(0, 1).is_none());
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let dump = MemoryDump::from_contiguous(
+            VirtAddr::new(0),
+            PhysAddr::new(0),
+            (0u8..=255).collect(),
+        );
+        assert_eq!(dump.slice(10, 3), Some(&[10u8, 11, 12][..]));
+        assert!(dump.slice(250, 10).is_none());
+        assert!(dump.slice(u64::MAX, 1).is_none());
+    }
+
+    #[test]
+    fn ascii_strings_extraction() {
+        let mut bytes = vec![0u8; 8];
+        bytes.extend_from_slice(b"resnet50_pt");
+        bytes.push(0);
+        bytes.extend_from_slice(b"ab");
+        bytes.push(0);
+        bytes.extend_from_slice(b"vitis_ai_library");
+        let dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), bytes);
+        let strings = dump.ascii_strings(4);
+        assert_eq!(strings, vec!["resnet50_pt".to_string(), "vitis_ai_library".to_string()]);
+        // Lower threshold picks up the short string too.
+        assert!(dump.ascii_strings(2).contains(&"ab".to_string()));
+    }
+
+    #[test]
+    fn hexdump_view_matches_bytes() {
+        let dump = MemoryDump::from_contiguous(
+            VirtAddr::new(0),
+            PhysAddr::new(0),
+            b"resnet50_pt".to_vec(),
+        );
+        let hex = dump.to_hexdump();
+        assert_eq!(hex.as_bytes(), dump.as_bytes());
+        assert_eq!(hex.grep("resnet50").len(), 1);
+    }
+}

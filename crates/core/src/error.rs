@@ -1,0 +1,109 @@
+//! Error type for the attack pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use petalinux_sim::{KernelError, Pid};
+use vitis_ai_sim::ModelKind;
+
+/// Errors returned by attack steps.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// No running process matched the victim search criteria.
+    VictimNotFound,
+    /// The victim's maps file did not contain a `[heap]` region.
+    HeapNotFound {
+        /// The inspected process.
+        pid: Pid,
+    },
+    /// None of the heap's pages could be translated to physical addresses.
+    TranslationEmpty {
+        /// The inspected process.
+        pid: Pid,
+    },
+    /// The scrape step was invoked while the victim was still running.
+    VictimStillRunning {
+        /// The still-running process.
+        pid: Pid,
+    },
+    /// Image reconstruction needs a profile for the identified model, but the
+    /// profile database has none.
+    ProfileMissing {
+        /// The model whose profile is missing.
+        model: ModelKind,
+    },
+    /// A debugger / kernel operation failed (permission denied under a
+    /// confined isolation policy, bad addresses, …).
+    Channel(KernelError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::VictimNotFound => write!(f, "no running victim process matched"),
+            AttackError::HeapNotFound { pid } => {
+                write!(f, "no [heap] region found in maps of pid {pid}")
+            }
+            AttackError::TranslationEmpty { pid } => {
+                write!(f, "no heap page of pid {pid} could be translated")
+            }
+            AttackError::VictimStillRunning { pid } => {
+                write!(f, "victim pid {pid} is still running; scraping requires termination")
+            }
+            AttackError::ProfileMissing { model } => {
+                write!(f, "no offline profile available for model {model}")
+            }
+            AttackError::Channel(e) => write!(f, "attack channel error: {e}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Channel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for AttackError {
+    fn from(e: KernelError) -> Self {
+        AttackError::Channel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AttackError::VictimNotFound.to_string().contains("no running victim"));
+        assert!(AttackError::HeapNotFound { pid: Pid::new(1) }
+            .to_string()
+            .contains("[heap]"));
+        assert!(AttackError::TranslationEmpty { pid: Pid::new(1) }
+            .to_string()
+            .contains("translated"));
+        assert!(AttackError::VictimStillRunning { pid: Pid::new(1) }
+            .to_string()
+            .contains("still running"));
+        assert!(AttackError::ProfileMissing {
+            model: ModelKind::Resnet50Pt
+        }
+        .to_string()
+        .contains("resnet50_pt"));
+        let channel = AttackError::from(KernelError::EmptyCommandLine);
+        assert!(channel.to_string().contains("attack channel"));
+        assert!(channel.source().is_some());
+        assert!(AttackError::VictimNotFound.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

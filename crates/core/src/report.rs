@@ -1,0 +1,156 @@
+//! Plain-text report tables.
+//!
+//! The experiment harness (`msa-bench`'s `experiments` binary) prints every
+//! reproduced figure and table as text; this module provides the small
+//! column-aligned table renderer it uses.
+
+use std::fmt;
+
+/// A column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use msa_core::report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["policy", "recovery"]);
+/// table.add_row(vec!["none".to_string(), "100%".to_string()]);
+/// table.add_row(vec!["zero-on-free".to_string(), "0%".to_string()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("zero-on-free"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns and a separator under the
+    /// header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:<width$}", cell, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal (e.g. `99.6%`).
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub fn bytes(count: u64) -> String {
+    const KIB: u64 = 1024;
+    const MIB: u64 = 1024 * KIB;
+    if count >= MIB {
+        format!("{:.1} MiB", count as f64 / MIB as f64)
+    } else if count >= KIB {
+        format!("{:.1} KiB", count as f64 / KIB as f64)
+    } else {
+        format!("{count} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new(vec!["policy", "recovery", "cost"]);
+        table.add_row(vec!["none".into(), "100.0%".into(), "0".into()]);
+        table.add_row(vec!["selective-scrub".into(), "0.0%".into(), "123456".into()]);
+        assert_eq!(table.row_count(), 2);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "recovery" starts at the same column in all rows.
+        let col = lines[0].find("recovery").unwrap();
+        assert_eq!(&lines[2][col..col + 6], "100.0%");
+        assert_eq!(table.to_string(), rendered);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_length_panics() {
+        let mut table = TextTable::new(vec!["a", "b"]);
+        table.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(percent(0.996), "99.6%");
+        assert_eq!(percent(0.0), "0.0%");
+        assert_eq!(bytes(100), "100 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

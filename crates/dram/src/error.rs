@@ -1,0 +1,81 @@
+//! Error type for DRAM device operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::PhysAddr;
+
+/// Errors returned by [`Dram`](crate::Dram) accesses and sanitizer runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// The access touches addresses outside the configured DRAM window.
+    OutOfRange {
+        /// First address of the offending access.
+        addr: PhysAddr,
+        /// Length of the access in bytes.
+        len: u64,
+    },
+    /// A multi-byte access was not naturally aligned.
+    Misaligned {
+        /// Address of the offending access.
+        addr: PhysAddr,
+        /// Required alignment in bytes.
+        required: u64,
+    },
+    /// The requested access length overflows the address space.
+    LengthOverflow {
+        /// First address of the offending access.
+        addr: PhysAddr,
+        /// Length of the access in bytes.
+        len: u64,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::OutOfRange { addr, len } => {
+                write!(f, "access at {addr} of {len} bytes is outside the DRAM window")
+            }
+            DramError::Misaligned { addr, required } => {
+                write!(f, "access at {addr} is not {required}-byte aligned")
+            }
+            DramError::LengthOverflow { addr, len } => {
+                write!(f, "access at {addr} of {len} bytes overflows the address space")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = DramError::OutOfRange {
+            addr: PhysAddr::new(0x10),
+            len: 4,
+        };
+        assert!(e.to_string().contains("outside the DRAM window"));
+        let e = DramError::Misaligned {
+            addr: PhysAddr::new(0x11),
+            required: 4,
+        };
+        assert!(e.to_string().contains("not 4-byte aligned"));
+        let e = DramError::LengthOverflow {
+            addr: PhysAddr::new(u64::MAX),
+            len: 4,
+        };
+        assert!(e.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

@@ -1,0 +1,315 @@
+//! DDR controller address interleaving.
+//!
+//! The memory scraping attack itself only needs byte-addressable physical
+//! memory, but the *defenses* discussed in the paper's related-work section
+//! (RowClone bulk zeroing, RowReset bank initialization) operate on DRAM rows
+//! and banks.  [`DdrMapping`] converts between a flat physical address inside
+//! the DRAM window and the `(rank, bank group, bank, row, column)` coordinates
+//! those mechanisms work on, using the row-interleaved mapping commonly used
+//! by the Zynq UltraScale+ DDR controller:
+//!
+//! ```text
+//! address bits (low → high): column | bank group | bank | row | rank
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::PhysAddr;
+use crate::config::{DdrGeometry, DramConfig};
+
+/// Decomposed DRAM coordinates of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DdrCoordinates {
+    /// Rank index.
+    pub rank: u64,
+    /// Bank group index.
+    pub bank_group: u64,
+    /// Bank index within the bank group.
+    pub bank: u64,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte column within the row.
+    pub column: u64,
+}
+
+impl DdrCoordinates {
+    /// Returns a flat identifier of the (rank, bank group, bank) triple,
+    /// useful for grouping rows by bank.
+    pub fn bank_id(&self, geometry: &DdrGeometry) -> u64 {
+        (self.rank << (geometry.bank_group_bits + geometry.bank_bits))
+            | (self.bank_group << geometry.bank_bits)
+            | self.bank
+    }
+
+    /// Returns a flat identifier of the (bank, row) pair, useful for grouping
+    /// addresses by DRAM row.
+    pub fn row_id(&self, geometry: &DdrGeometry) -> u64 {
+        (self.bank_id(geometry) << geometry.row_bits) | self.row
+    }
+}
+
+/// Translator between window-relative physical addresses and DDR coordinates.
+///
+/// # Example
+///
+/// ```
+/// use zynq_dram::{DdrMapping, DramConfig};
+///
+/// let cfg = DramConfig::zcu104();
+/// let mapping = DdrMapping::new(cfg);
+/// let addr = cfg.base() + 0x1_2345;
+/// let coords = mapping.decompose(addr).expect("inside window");
+/// assert_eq!(mapping.compose(coords), addr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DdrMapping {
+    config: DramConfig,
+}
+
+impl DdrMapping {
+    /// Creates a mapping for the given DRAM configuration.
+    pub fn new(config: DramConfig) -> Self {
+        DdrMapping { config }
+    }
+
+    /// The configuration this mapping was built from.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Decomposes a physical address into DDR coordinates.
+    ///
+    /// Returns `None` if the address is outside the DRAM window.
+    pub fn decompose(&self, addr: PhysAddr) -> Option<DdrCoordinates> {
+        if !self.config.contains(addr) {
+            return None;
+        }
+        let g = self.config.geometry();
+        let mut rel = addr.offset_from(self.config.base());
+
+        let column = rel & ((1 << g.column_bits) - 1);
+        rel >>= g.column_bits;
+        let bank_group = rel & ((1 << g.bank_group_bits) - 1);
+        rel >>= g.bank_group_bits;
+        let bank = rel & ((1 << g.bank_bits) - 1);
+        rel >>= g.bank_bits;
+        let row = rel & ((1 << g.row_bits) - 1);
+        rel >>= g.row_bits;
+        let rank = rel & ((1 << g.rank_bits) - 1);
+
+        Some(DdrCoordinates {
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    /// Composes DDR coordinates back into a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate exceeds the geometry's bit width.
+    pub fn compose(&self, coords: DdrCoordinates) -> PhysAddr {
+        let g = self.config.geometry();
+        assert!(coords.column < (1 << g.column_bits), "column out of range");
+        assert!(
+            coords.bank_group < (1 << g.bank_group_bits),
+            "bank group out of range"
+        );
+        assert!(coords.bank < (1 << g.bank_bits), "bank out of range");
+        assert!(coords.row < (1 << g.row_bits), "row out of range");
+        assert!(coords.rank < (1 << g.rank_bits), "rank out of range");
+
+        let mut rel = coords.rank;
+        rel = (rel << g.row_bits) | coords.row;
+        rel = (rel << g.bank_bits) | coords.bank;
+        rel = (rel << g.bank_group_bits) | coords.bank_group;
+        rel = (rel << g.column_bits) | coords.column;
+        self.config.base() + rel
+    }
+
+    /// Returns the inclusive start and exclusive end of the DRAM row
+    /// containing `addr`, or `None` if `addr` is outside the window.
+    ///
+    /// This is the span a RowClone-style bulk zero would clear.
+    pub fn row_span(&self, addr: PhysAddr) -> Option<(PhysAddr, PhysAddr)> {
+        let g = self.config.geometry();
+        let coords = self.decompose(addr)?;
+        let start = self.compose(DdrCoordinates {
+            column: 0,
+            ..coords
+        });
+        Some((start, start + g.row_bytes()))
+    }
+
+    /// Returns the inclusive start and exclusive end of the contiguous span
+    /// mapped to the bank containing `addr`.
+    ///
+    /// Because the row bits sit above the bank bits in this interleaving, a
+    /// single bank does **not** form one contiguous span; this method returns
+    /// the span of the *row-group stripe* the address falls into (one row's
+    /// worth of bytes).  Use [`DdrMapping::bank_addresses`] to enumerate a
+    /// whole bank.
+    pub fn bank_stripe_span(&self, addr: PhysAddr) -> Option<(PhysAddr, PhysAddr)> {
+        self.row_span(addr)
+    }
+
+    /// Iterates over the base address of every row belonging to the bank that
+    /// contains `addr`.
+    ///
+    /// This is the set of spans a RowReset-style bank initialization clears.
+    pub fn bank_addresses(&self, addr: PhysAddr) -> Option<Vec<(PhysAddr, PhysAddr)>> {
+        let g = self.config.geometry();
+        let coords = self.decompose(addr)?;
+        let rows = 1u64 << g.row_bits;
+        let mut spans = Vec::with_capacity(rows as usize);
+        for row in 0..rows {
+            let start = self.compose(DdrCoordinates {
+                column: 0,
+                row,
+                ..coords
+            });
+            spans.push((start, start + g.row_bytes()));
+        }
+        Some(spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mapping() -> DdrMapping {
+        DdrMapping::new(DramConfig::zcu104())
+    }
+
+    #[test]
+    fn decompose_base_is_all_zero() {
+        let m = mapping();
+        let c = m.decompose(m.config().base()).unwrap();
+        assert_eq!(
+            c,
+            DdrCoordinates {
+                rank: 0,
+                bank_group: 0,
+                bank: 0,
+                row: 0,
+                column: 0
+            }
+        );
+    }
+
+    #[test]
+    fn decompose_outside_window_is_none() {
+        let m = mapping();
+        assert!(m.decompose(PhysAddr::new(0)).is_none());
+        assert!(m.decompose(m.config().end()).is_none());
+    }
+
+    #[test]
+    fn compose_decompose_roundtrip_on_fixed_points() {
+        let m = mapping();
+        for offset in [0u64, 1, 1023, 1024, 4096, 0x1_2345, 0x7fff_ffff] {
+            let addr = m.config().base() + offset;
+            let coords = m.decompose(addr).unwrap();
+            assert_eq!(m.compose(coords), addr, "offset {offset:#x}");
+        }
+    }
+
+    #[test]
+    fn row_span_contains_address_and_has_row_size() {
+        let m = mapping();
+        let addr = m.config().base() + 0x1_2345;
+        let (start, end) = m.row_span(addr).unwrap();
+        assert!(start <= addr && addr < end);
+        assert_eq!(end.offset_from(start), m.config().geometry().row_bytes());
+    }
+
+    #[test]
+    fn bank_addresses_enumerates_every_row_once() {
+        let cfg = DramConfig::custom(
+            PhysAddr::new(0x6_0000_0000),
+            1 << 20,
+            DdrGeometry {
+                column_bits: 6,
+                bank_bits: 1,
+                bank_group_bits: 1,
+                row_bits: 4,
+                rank_bits: 0,
+            },
+        );
+        let m = DdrMapping::new(cfg);
+        let addr = cfg.base() + 5;
+        let spans = m.bank_addresses(addr).unwrap();
+        assert_eq!(spans.len(), 16);
+        let g = cfg.geometry();
+        let bank = m.decompose(addr).unwrap().bank_id(&g);
+        for (start, end) in &spans {
+            assert_eq!(end.offset_from(*start), g.row_bytes());
+            assert_eq!(m.decompose(*start).unwrap().bank_id(&g), bank);
+        }
+        // All spans are distinct.
+        let mut starts: Vec<_> = spans.iter().map(|(s, _)| s.as_u64()).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 16);
+    }
+
+    #[test]
+    fn bank_and_row_ids_are_stable() {
+        let m = mapping();
+        let g = m.config().geometry();
+        let a = m.config().base() + 10;
+        let b = m.config().base() + 20;
+        let ca = m.decompose(a).unwrap();
+        let cb = m.decompose(b).unwrap();
+        // Same row (both in column range of row 0, bank 0).
+        assert_eq!(ca.row_id(&g), cb.row_id(&g));
+        assert_eq!(ca.bank_id(&g), cb.bank_id(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn compose_rejects_out_of_range_column() {
+        let m = mapping();
+        let mut c = m.decompose(m.config().base()).unwrap();
+        c.column = u64::MAX;
+        let _ = m.compose(c);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decompose_compose_roundtrip(offset in 0u64..(2u64 * 1024 * 1024 * 1024)) {
+            let m = mapping();
+            let addr = m.config().base() + offset;
+            let coords = m.decompose(addr).unwrap();
+            prop_assert_eq!(m.compose(coords), addr);
+        }
+
+        #[test]
+        fn prop_coordinates_within_geometry(offset in 0u64..(2u64 * 1024 * 1024 * 1024)) {
+            let m = mapping();
+            let g = m.config().geometry();
+            let coords = m.decompose(m.config().base() + offset).unwrap();
+            prop_assert!(coords.column < (1 << g.column_bits));
+            prop_assert!(coords.bank < (1 << g.bank_bits));
+            prop_assert!(coords.bank_group < (1 << g.bank_group_bits));
+            prop_assert!(coords.row < (1 << g.row_bits));
+            prop_assert!(coords.rank < (1 << g.rank_bits));
+        }
+
+        #[test]
+        fn prop_same_row_shares_row_id(offset in 0u64..(2u64*1024*1024*1024 - 1024), delta in 0u64..1024) {
+            let m = mapping();
+            let g = m.config().geometry();
+            let a = m.config().base() + (offset / 1024) * 1024;
+            let b = a + delta;
+            let ca = m.decompose(a).unwrap();
+            let cb = m.decompose(b).unwrap();
+            prop_assert_eq!(ca.row_id(&g), cb.row_id(&g));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for MMU operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::VirtAddr;
+
+/// Errors returned by page-table, frame-allocator and address-space
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MmuError {
+    /// The physical frame allocator has no free frames left.
+    OutOfFrames,
+    /// The virtual page is already mapped.
+    AlreadyMapped {
+        /// Base address of the offending page.
+        page: VirtAddr,
+    },
+    /// The virtual page is not mapped.
+    NotMapped {
+        /// Base address of the offending page.
+        page: VirtAddr,
+    },
+    /// An address or size argument was not page aligned where required.
+    Unaligned {
+        /// The offending address.
+        addr: VirtAddr,
+    },
+    /// A requested region overlaps an existing VMA.
+    RegionOverlap {
+        /// Start of the requested region.
+        start: VirtAddr,
+        /// Length of the requested region in bytes.
+        len: u64,
+    },
+    /// Heap shrinking below its base (or another invalid brk request).
+    InvalidBrk {
+        /// The requested new break.
+        requested: VirtAddr,
+    },
+}
+
+impl fmt::Display for MmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmuError::OutOfFrames => write!(f, "no free physical frames remain"),
+            MmuError::AlreadyMapped { page } => write!(f, "virtual page {page:x} is already mapped"),
+            MmuError::NotMapped { page } => write!(f, "virtual page {page:x} is not mapped"),
+            MmuError::Unaligned { addr } => write!(f, "address {addr:x} is not page aligned"),
+            MmuError::RegionOverlap { start, len } => {
+                write!(f, "region {start:x}+{len:#x} overlaps an existing mapping")
+            }
+            MmuError::InvalidBrk { requested } => {
+                write!(f, "invalid heap break request {requested:x}")
+            }
+        }
+    }
+}
+
+impl Error for MmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific() {
+        assert!(MmuError::OutOfFrames.to_string().contains("no free"));
+        assert!(MmuError::AlreadyMapped {
+            page: VirtAddr::new(0x1000)
+        }
+        .to_string()
+        .contains("already mapped"));
+        assert!(MmuError::NotMapped {
+            page: VirtAddr::new(0x1000)
+        }
+        .to_string()
+        .contains("not mapped"));
+        assert!(MmuError::Unaligned {
+            addr: VirtAddr::new(0x1001)
+        }
+        .to_string()
+        .contains("not page aligned"));
+        assert!(MmuError::RegionOverlap {
+            start: VirtAddr::new(0),
+            len: 4096
+        }
+        .to_string()
+        .contains("overlaps"));
+        assert!(MmuError::InvalidBrk {
+            requested: VirtAddr::new(0)
+        }
+        .to_string()
+        .contains("invalid heap break"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MmuError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! # zynq-mmu — virtual memory substrate for the MSA reproduction
+//!
+//! Models the pieces of the Cortex-A53 / Linux virtual memory system that the
+//! memory scraping attack interacts with:
+//!
+//! - [`VirtAddr`] / [`addr::PageNumber`] — virtual addresses and pages,
+//! - [`PageTable`] — an ARMv8-style 4-level, 4 KiB-granule page table with
+//!   map / unmap / translate,
+//! - [`FrameAllocator`] — the kernel's physical frame allocator, with a
+//!   configurable allocation-order policy (deterministic reuse is what makes
+//!   the paper's offline profiling transfer to the victim; randomized order is
+//!   the corresponding defense),
+//! - [`pagemap`] — the Linux `/proc/<pid>/pagemap` 64-bit entry format the
+//!   attacker parses to convert virtual to physical addresses,
+//! - [`AddressSpace`] — a process's page table, VMAs and heap break,
+//! - [`AddressSpaceLayout`] — heap/stack/mmap base selection with optional
+//!   ASLR.
+//!
+//! # Example
+//!
+//! ```
+//! use zynq_dram::DramConfig;
+//! use zynq_mmu::{AddressSpace, AddressSpaceLayout, FrameAllocator, VirtAddr};
+//!
+//! # fn main() -> Result<(), zynq_mmu::MmuError> {
+//! let mut frames = FrameAllocator::new(DramConfig::tiny_for_tests());
+//! let layout = AddressSpaceLayout::petalinux_default();
+//! let mut space = AddressSpace::new(layout);
+//!
+//! // Grow the heap by one page and translate an address inside it.
+//! let heap_top = space.grow_heap(4096, &mut frames)?;
+//! let va = space.layout().heap_base();
+//! let pa = space.translate(va).expect("heap page is mapped");
+//! assert!(heap_top > va);
+//! assert_eq!(pa.page_offset(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod frame;
+pub mod layout;
+pub mod page_table;
+pub mod pagemap;
+pub mod space;
+
+pub use addr::{PageNumber, VirtAddr};
+pub use error::MmuError;
+pub use frame::{AllocationOrder, FrameAllocator};
+pub use layout::{AddressSpaceLayout, AslrMode};
+pub use page_table::{PagePermissions, PageTable};
+pub use pagemap::PagemapEntry;
+pub use space::{AddressSpace, Vma, VmaKind};

@@ -1,0 +1,137 @@
+//! Error type for kernel and shell operations.
+
+use std::error::Error;
+use std::fmt;
+
+use zynq_dram::DramError;
+use zynq_mmu::{MmuError, VirtAddr};
+
+use crate::process::Pid;
+use crate::user::UserId;
+
+/// Errors returned by [`Kernel`](crate::Kernel) and [`Shell`](crate::Shell)
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// No process with the given pid exists (it may never have existed, or
+    /// its record may have been reaped).
+    NoSuchProcess {
+        /// The pid that was looked up.
+        pid: Pid,
+    },
+    /// The operation targets a process that has already terminated.
+    ProcessTerminated {
+        /// The terminated process.
+        pid: Pid,
+    },
+    /// The calling user is not allowed to perform the operation under the
+    /// board's isolation policy.
+    PermissionDenied {
+        /// The user that attempted the operation.
+        user: UserId,
+        /// Human-readable description of the denied operation.
+        operation: &'static str,
+    },
+    /// A virtual address was not mapped in the target process.
+    UnmappedAddress {
+        /// The pid whose address space was accessed.
+        pid: Pid,
+        /// The unmapped virtual address.
+        addr: VirtAddr,
+    },
+    /// An empty command line was supplied to `spawn`.
+    EmptyCommandLine,
+    /// An underlying virtual-memory error.
+    Mmu(MmuError),
+    /// An underlying DRAM access error.
+    Dram(DramError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess { pid } => write!(f, "no such process: {pid}"),
+            KernelError::ProcessTerminated { pid } => {
+                write!(f, "process {pid} has already terminated")
+            }
+            KernelError::PermissionDenied { user, operation } => {
+                write!(f, "permission denied for {user}: {operation}")
+            }
+            KernelError::UnmappedAddress { pid, addr } => {
+                write!(f, "address {addr:x} is not mapped in process {pid}")
+            }
+            KernelError::EmptyCommandLine => write!(f, "empty command line"),
+            KernelError::Mmu(e) => write!(f, "virtual memory error: {e}"),
+            KernelError::Dram(e) => write!(f, "dram error: {e}"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Mmu(e) => Some(e),
+            KernelError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MmuError> for KernelError {
+    fn from(e: MmuError) -> Self {
+        KernelError::Mmu(e)
+    }
+}
+
+impl From<DramError> for KernelError {
+    fn from(e: DramError) -> Self {
+        KernelError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KernelError::NoSuchProcess { pid: Pid::new(42) };
+        assert!(e.to_string().contains("no such process"));
+        assert!(e.source().is_none());
+
+        let e = KernelError::from(MmuError::OutOfFrames);
+        assert!(e.to_string().contains("virtual memory error"));
+        assert!(e.source().is_some());
+
+        let e = KernelError::from(DramError::OutOfRange {
+            addr: zynq_dram::PhysAddr::new(0),
+            len: 1,
+        });
+        assert!(e.to_string().contains("dram error"));
+        assert!(e.source().is_some());
+
+        let e = KernelError::PermissionDenied {
+            user: UserId::new(2),
+            operation: "devmem",
+        };
+        assert!(e.to_string().contains("permission denied"));
+
+        assert!(KernelError::EmptyCommandLine.to_string().contains("empty"));
+        assert!(KernelError::ProcessTerminated { pid: Pid::new(1) }
+            .to_string()
+            .contains("terminated"));
+        assert!(KernelError::UnmappedAddress {
+            pid: Pid::new(1),
+            addr: VirtAddr::new(0x1000)
+        }
+        .to_string()
+        .contains("not mapped"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

@@ -1,0 +1,595 @@
+//! The simulated PetaLinux kernel: DRAM + frame allocator + process table.
+
+use std::collections::BTreeMap;
+
+use zynq_dram::{sanitize, Dram, FrameNumber, PhysAddr, SanitizePolicy, ScrubReport};
+use zynq_mmu::{
+    AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, VirtAddr, VmaKind,
+};
+
+use crate::config::BoardConfig;
+use crate::error::KernelError;
+use crate::process::{Pid, Process};
+use crate::user::UserId;
+
+/// The first pid handed out after boot; chosen so spawned pids land in the
+/// same range as the paper's figures (victim pid 1391).
+const FIRST_PID: u32 = 1389;
+
+#[derive(Debug, Clone)]
+struct DeferredScrub {
+    due_tick: u64,
+    frames: Vec<FrameNumber>,
+}
+
+/// The simulated kernel.
+///
+/// Owns the board's DRAM, the physical frame allocator and the process table.
+/// Every mutation of process memory goes through the kernel so that DRAM
+/// ownership tags stay accurate — that is what makes "residue of a terminated
+/// process" a measurable quantity.
+///
+/// # Example
+///
+/// ```
+/// use petalinux_sim::{BoardConfig, Kernel, UserId};
+///
+/// # fn main() -> Result<(), petalinux_sim::KernelError> {
+/// let mut kernel = Kernel::boot(BoardConfig::tiny_for_tests());
+/// let pid = kernel.spawn(UserId::new(0), &["./resnet50_pt"])?;
+/// kernel.grow_heap(pid, 4096)?;
+/// let heap = kernel.process(pid)?.heap_base();
+/// kernel.write_process_memory(pid, heap, b"resnet50_pt weights...")?;
+/// let report = kernel.terminate(pid)?;
+/// // Default policy: nothing scrubbed, residue remains.
+/// assert_eq!(report.bytes_scrubbed, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    config: BoardConfig,
+    dram: Dram,
+    allocator: FrameAllocator,
+    processes: BTreeMap<Pid, Process>,
+    next_pid: u32,
+    clock: u64,
+    deferred: Vec<DeferredScrub>,
+    scrub_reports: Vec<ScrubReport>,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given board configuration.
+    pub fn boot(config: BoardConfig) -> Self {
+        Kernel {
+            config,
+            dram: Dram::new(config.dram()),
+            allocator: FrameAllocator::with_order(config.dram(), config.allocation_order()),
+            processes: BTreeMap::new(),
+            next_pid: FIRST_PID,
+            clock: 0,
+            deferred: Vec::new(),
+            scrub_reports: Vec::new(),
+        }
+    }
+
+    /// The board configuration this kernel was booted with.
+    pub fn config(&self) -> &BoardConfig {
+        &self.config
+    }
+
+    /// Read access to the board's DRAM.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Read access to the physical frame allocator.
+    pub fn allocator(&self) -> &FrameAllocator {
+        &self.allocator
+    }
+
+    /// The current kernel tick.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Reports produced by every sanitization run so far (one per terminated
+    /// process, plus one per completed background scrub).
+    pub fn scrub_reports(&self) -> &[ScrubReport] {
+        &self.scrub_reports
+    }
+
+    /// Advances the kernel clock by `ticks`, running any background scrubs
+    /// whose deadline has passed.
+    pub fn tick(&mut self, ticks: u64) {
+        self.clock += ticks;
+        let clock = self.clock;
+        let (due, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.deferred)
+            .into_iter()
+            .partition(|d| d.due_tick <= clock);
+        self.deferred = pending;
+        for scrub in due {
+            let report =
+                sanitize::scrub_deferred(&mut self.dram, &scrub.frames, &self.config.sanitize_cost());
+            self.scrub_reports.push(report);
+        }
+    }
+
+    /// Number of background scrubs still pending.
+    pub fn pending_scrubs(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Spawns a new process for `user` with the given command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::EmptyCommandLine`] if `cmdline` is empty.
+    pub fn spawn(&mut self, user: UserId, cmdline: &[&str]) -> Result<Pid, KernelError> {
+        if cmdline.is_empty() {
+            return Err(KernelError::EmptyCommandLine);
+        }
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let parent = Pid::new(self.next_pid.saturating_sub(1000).max(1));
+        let layout = AddressSpaceLayout::from_mode(self.config.aslr());
+        let space = AddressSpace::new(layout);
+        let process = Process::new(
+            pid,
+            parent,
+            user,
+            cmdline.iter().map(|s| s.to_string()).collect(),
+            self.clock,
+            space,
+        );
+        self.processes.insert(pid, process);
+        self.clock += 1;
+        Ok(pid)
+    }
+
+    /// Looks up a process (running or terminated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchProcess`] if the pid was never spawned.
+    pub fn process(&self, pid: Pid) -> Result<&Process, KernelError> {
+        self.processes
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })
+    }
+
+    fn running_process_mut(&mut self, pid: Pid) -> Result<&mut Process, KernelError> {
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        Ok(process)
+    }
+
+    /// Iterates over every process record, running and terminated.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// Iterates over the running processes only (what `ps -ef` shows).
+    pub fn running_processes(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values().filter(|p| p.is_running())
+    }
+
+    /// Finds the pid of the first *running* process whose command line
+    /// contains `needle` (the attacker's "polling for pid" step).
+    pub fn find_running_pid(&self, needle: &str) -> Option<Pid> {
+        self.running_processes()
+            .find(|p| p.command_string().contains(needle))
+            .map(|p| p.pid())
+    }
+
+    /// Grows a running process's heap by `bytes`, returning the new break.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchProcess`], [`KernelError::ProcessTerminated`]
+    /// or a wrapped [`zynq_mmu::MmuError`] on allocation failure.
+    pub fn grow_heap(&mut self, pid: Pid, bytes: u64) -> Result<VirtAddr, KernelError> {
+        let allocator = &mut self.allocator;
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        Ok(process.space.grow_heap(bytes, allocator)?)
+    }
+
+    /// Maps a fixed region in a running process's address space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates process-lookup and virtual-memory errors.
+    pub fn map_region(
+        &mut self,
+        pid: Pid,
+        start: VirtAddr,
+        len: u64,
+        perms: PagePermissions,
+        kind: VmaKind,
+    ) -> Result<(), KernelError> {
+        let allocator = &mut self.allocator;
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        process.space.map_region(start, len, perms, kind, allocator)?;
+        Ok(())
+    }
+
+    /// Writes `data` into a running process's memory at virtual address `va`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnmappedAddress`] if any touched page is not
+    /// mapped.
+    pub fn write_process_memory(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        data: &[u8],
+    ) -> Result<(), KernelError> {
+        let owner = pid.owner_tag();
+        // Translate page by page, then write through to DRAM.
+        let process = self.running_process_mut(pid)?;
+        let mut translations = Vec::new();
+        let mut offset = 0u64;
+        while offset < data.len() as u64 {
+            let addr = va + offset;
+            let pa = process
+                .space
+                .translate(addr)
+                .ok_or(KernelError::UnmappedAddress { pid, addr })?;
+            let page_remaining = zynq_dram::PAGE_SIZE - addr.page_offset();
+            let chunk = page_remaining.min(data.len() as u64 - offset);
+            translations.push((pa, offset as usize, chunk as usize));
+            offset += chunk;
+        }
+        for (pa, start, len) in translations {
+            self.dram
+                .write_bytes(pa, &data[start..start + len], owner)?;
+        }
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Reads a running process's memory at virtual address `va` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnmappedAddress`] if any touched page is not
+    /// mapped.
+    pub fn read_process_memory(
+        &self,
+        pid: Pid,
+        va: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), KernelError> {
+        let process = self.process(pid)?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        let mut offset = 0u64;
+        while offset < buf.len() as u64 {
+            let addr = va + offset;
+            let pa = process
+                .space
+                .translate(addr)
+                .ok_or(KernelError::UnmappedAddress { pid, addr })?;
+            let page_remaining = zynq_dram::PAGE_SIZE - addr.page_offset();
+            let chunk = page_remaining.min(buf.len() as u64 - offset) as usize;
+            self.dram
+                .read_bytes(pa, &mut buf[offset as usize..offset as usize + chunk])?;
+            offset += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Terminates a running process, freeing its frames and applying the
+    /// configured sanitization policy.
+    ///
+    /// Returns the sanitizer's report (which records zero scrubbed bytes under
+    /// the vulnerable default policy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchProcess`] or
+    /// [`KernelError::ProcessTerminated`].
+    pub fn terminate(&mut self, pid: Pid) -> Result<ScrubReport, KernelError> {
+        let allocator = &mut self.allocator;
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        let freed = process.space.release_all(allocator);
+        process.mark_terminated(self.clock);
+        let policy = self.config.sanitize_policy();
+        let report = policy.apply(
+            &mut self.dram,
+            pid.owner_tag(),
+            &freed,
+            &self.config.sanitize_cost(),
+        );
+        if let SanitizePolicy::Background { delay_ticks } = policy {
+            if !report.deferred_frames.is_empty() {
+                self.deferred.push(DeferredScrub {
+                    due_tick: self.clock + delay_ticks,
+                    frames: report.deferred_frames.clone(),
+                });
+            }
+        }
+        self.scrub_reports.push(report.clone());
+        self.clock += 1;
+        Ok(report)
+    }
+
+    /// Reads a 32-bit word from physical memory (the kernel-side primitive
+    /// behind `devmem`).  Permission checks live in [`crate::Shell`] and the
+    /// debugger, not here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range/alignment errors.
+    pub fn read_physical_u32(&self, addr: PhysAddr) -> Result<u32, KernelError> {
+        Ok(self.dram.read_u32(addr)?)
+    }
+
+    /// Reads raw bytes from physical memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range errors.
+    pub fn read_physical_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), KernelError> {
+        Ok(self.dram.read_bytes(addr, buf)?)
+    }
+
+    /// Formats a kernel tick as the `HH:MM` wall-clock string `ps -ef` prints
+    /// in its `STIME` column (boot is pinned at 03:51, matching the paper's
+    /// figures).
+    pub fn format_time(&self, tick: u64) -> String {
+        let minutes_since_boot = tick / 60;
+        let total = 3 * 60 + 51 + minutes_since_boot;
+        format!("{:02}:{:02}", (total / 60) % 24, total % 60)
+    }
+
+    /// Ground truth for experiments: number of residue (terminated, not
+    /// scrubbed) frames currently in DRAM.
+    pub fn residue_frame_count(&self) -> usize {
+        self.dram.residue_frames().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessState;
+    use zynq_dram::SanitizePolicy;
+
+    fn kernel() -> Kernel {
+        Kernel::boot(BoardConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn boot_state_is_empty() {
+        let k = kernel();
+        assert_eq!(k.processes().count(), 0);
+        assert_eq!(k.running_processes().count(), 0);
+        assert_eq!(k.clock(), 0);
+        assert_eq!(k.residue_frame_count(), 0);
+        assert_eq!(k.pending_scrubs(), 0);
+        assert!(k.scrub_reports().is_empty());
+    }
+
+    #[test]
+    fn spawn_assigns_increasing_pids_in_paper_range() {
+        let mut k = kernel();
+        let a = k.spawn(UserId::new(0), &["ps", "-ef"]).unwrap();
+        let b = k.spawn(UserId::new(0), &["./resnet50_pt"]).unwrap();
+        assert_eq!(a.as_u32(), 1389);
+        assert_eq!(b.as_u32(), 1390);
+        assert!(k.process(a).unwrap().is_running());
+        assert_eq!(k.process(b).unwrap().command_string(), "./resnet50_pt");
+    }
+
+    #[test]
+    fn spawn_rejects_empty_command_line() {
+        let mut k = kernel();
+        assert!(matches!(
+            k.spawn(UserId::new(0), &[]),
+            Err(KernelError::EmptyCommandLine)
+        ));
+    }
+
+    #[test]
+    fn process_lookup_errors() {
+        let mut k = kernel();
+        assert!(matches!(
+            k.process(Pid::new(9999)),
+            Err(KernelError::NoSuchProcess { .. })
+        ));
+        let pid = k.spawn(UserId::new(0), &["a"]).unwrap();
+        k.terminate(pid).unwrap();
+        assert!(matches!(
+            k.grow_heap(pid, 4096),
+            Err(KernelError::ProcessTerminated { .. })
+        ));
+        assert!(matches!(
+            k.terminate(pid),
+            Err(KernelError::ProcessTerminated { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_write_read_roundtrip_through_virtual_addresses() {
+        let mut k = kernel();
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 3 * 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        let data: Vec<u8> = (0..6000u32).map(|i| (i % 251) as u8).collect();
+        k.write_process_memory(pid, heap + 100, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        k.read_process_memory(pid, heap + 100, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn write_to_unmapped_address_is_rejected() {
+        let mut k = kernel();
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        assert!(matches!(
+            k.write_process_memory(pid, heap, b"x"),
+            Err(KernelError::UnmappedAddress { .. })
+        ));
+        let mut buf = [0u8; 1];
+        assert!(k.read_process_memory(pid, heap, &mut buf).is_err());
+    }
+
+    #[test]
+    fn termination_with_default_policy_leaves_readable_residue() {
+        let mut k = kernel();
+        let pid = k.spawn(UserId::new(0), &["./resnet50_pt"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, b"resnet50_pt").unwrap();
+        // Remember the physical location before termination.
+        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+
+        let report = k.terminate(pid).unwrap();
+        assert_eq!(report.bytes_scrubbed, 0);
+        assert!(report.leaves_residue());
+        assert_eq!(k.process(pid).unwrap().state(), ProcessState::Terminated);
+        assert_eq!(k.running_processes().count(), 0);
+        assert!(k.residue_frame_count() > 0);
+
+        // The residue is still readable through physical memory (the attack).
+        let mut buf = vec![0u8; 11];
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(&buf, b"resnet50_pt");
+    }
+
+    #[test]
+    fn termination_with_zero_on_free_clears_residue() {
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests().with_sanitize_policy(SanitizePolicy::ZeroOnFree),
+        );
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, b"secret").unwrap();
+        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+
+        let report = k.terminate(pid).unwrap();
+        assert!(report.bytes_scrubbed >= 4096);
+        let mut buf = vec![0u8; 6];
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 6]);
+        assert_eq!(k.residue_frame_count(), 0);
+    }
+
+    #[test]
+    fn background_policy_scrubs_after_delay() {
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests()
+                .with_sanitize_policy(SanitizePolicy::Background { delay_ticks: 50 }),
+        );
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, b"secret").unwrap();
+        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+        k.terminate(pid).unwrap();
+        assert_eq!(k.pending_scrubs(), 1);
+
+        // Within the window the residue is readable.
+        let mut buf = vec![0u8; 6];
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(&buf, b"secret");
+
+        // After the window it is gone.
+        k.tick(60);
+        assert_eq!(k.pending_scrubs(), 0);
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 6]);
+        // Two reports: the termination itself plus the deferred scrub.
+        assert_eq!(k.scrub_reports().len(), 2);
+    }
+
+    #[test]
+    fn find_running_pid_matches_command_substring() {
+        let mut k = kernel();
+        k.spawn(UserId::new(0), &["sh"]).unwrap();
+        let victim = k
+            .spawn(UserId::new(0), &["./resnet50_pt", "model.xmodel", "001.jpg"])
+            .unwrap();
+        assert_eq!(k.find_running_pid("resnet50"), Some(victim));
+        assert_eq!(k.find_running_pid("nonexistent"), None);
+        k.terminate(victim).unwrap();
+        assert_eq!(k.find_running_pid("resnet50"), None);
+    }
+
+    #[test]
+    fn map_region_and_terminated_process_memory_access() {
+        let mut k = kernel();
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        let mmap_base = k.process(pid).unwrap().address_space().layout().mmap_base();
+        k.map_region(
+            pid,
+            mmap_base,
+            4096,
+            PagePermissions::read_only(),
+            VmaKind::Mapped {
+                label: "/dev/dri/renderD128".to_string(),
+            },
+        )
+        .unwrap();
+        assert_eq!(k.process(pid).unwrap().address_space().vmas().len(), 1);
+        k.terminate(pid).unwrap();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            k.read_process_memory(pid, mmap_base, &mut buf),
+            Err(KernelError::ProcessTerminated { .. })
+        ));
+        assert!(matches!(
+            k.map_region(
+                pid,
+                mmap_base,
+                4096,
+                PagePermissions::read_only(),
+                VmaKind::Stack
+            ),
+            Err(KernelError::ProcessTerminated { .. })
+        ));
+    }
+
+    #[test]
+    fn time_formatting_matches_ps_style() {
+        let k = kernel();
+        assert_eq!(k.format_time(0), "03:51");
+        assert_eq!(k.format_time(60), "03:52");
+        assert_eq!(k.format_time(60 * 60 * 9), "12:51");
+    }
+
+    #[test]
+    fn physical_reads_validate_addresses() {
+        let k = kernel();
+        assert!(k.read_physical_u32(PhysAddr::new(0x10)).is_err());
+        assert_eq!(k.read_physical_u32(k.config().dram().base()).unwrap(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! `/proc` emulation: `maps` files, `pagemap` regions and `ps -ef` listings.
+//!
+//! The renderers in this module produce the exact textual / binary shapes the
+//! paper's attack scripts parse:
+//!
+//! - [`maps_file`] renders lines like
+//!   `aaaaee775000-aaaaefd8a000 rw-p 00000000 00:00 0      [heap]`
+//!   (the paper's Figure 7),
+//! - [`pagemap_bytes`] renders the packed little-endian 64-bit entries of
+//!   `/proc/<pid>/pagemap`,
+//! - [`ps_ef`] renders the `UID PID PPID C STIME TTY TIME CMD` rows of
+//!   Figures 5, 6 and 9.
+
+use zynq_mmu::VirtAddr;
+
+use crate::kernel::Kernel;
+use crate::process::Process;
+
+/// Renders a process's `/proc/<pid>/maps` file.
+///
+/// Each VMA becomes one line; anonymous private mappings show the `p` sharing
+/// flag and a zero device/inode, exactly like the heap line the paper keys on.
+pub fn maps_file(process: &Process) -> String {
+    let mut out = String::new();
+    for vma in process.address_space().vmas() {
+        let line = format!(
+            "{:x}-{:x} {}p {:08x} 00:00 0",
+            vma.start.as_u64(),
+            vma.end.as_u64(),
+            vma.perms.to_maps_string(),
+            0,
+        );
+        let label = vma.kind.maps_label();
+        if label.is_empty() {
+            out.push_str(&line);
+        } else {
+            // Real maps files pad the pathname column to byte 73.
+            out.push_str(&format!("{line:<73}{label}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the `[heap]` line's address range from a rendered maps file, the
+/// way the attacker does with `vim /proc/<pid>/maps` in the paper.
+///
+/// Returns `None` if the file has no heap line.
+pub fn parse_heap_range(maps: &str) -> Option<(VirtAddr, VirtAddr)> {
+    for line in maps.lines() {
+        if !line.trim_end().ends_with("[heap]") {
+            continue;
+        }
+        let range = line.split_whitespace().next()?;
+        let (start, end) = range.split_once('-')?;
+        let start = u64::from_str_radix(start, 16).ok()?;
+        let end = u64::from_str_radix(end, 16).ok()?;
+        return Some((VirtAddr::new(start), VirtAddr::new(end)));
+    }
+    None
+}
+
+/// Renders the binary contents of `/proc/<pid>/pagemap` for `page_count`
+/// pages starting at the page containing `start`.
+pub fn pagemap_bytes(process: &Process, start: VirtAddr, page_count: usize) -> Vec<u8> {
+    let entries = process.address_space().pagemap_entries(start, page_count);
+    zynq_mmu::pagemap::encode_entries(&entries)
+}
+
+/// Renders the `ps -ef` listing of the running processes (the paper's
+/// Figures 5, 6 and 9).
+pub fn ps_ef(kernel: &Kernel) -> String {
+    let mut out = String::from("UID        PID  PPID  C STIME TTY          TIME CMD\n");
+    for process in kernel.running_processes() {
+        out.push_str(&format!(
+            "{:<9}{:>5} {:>5}  0 {} pts/0    00:00:00 {}\n",
+            if process.user().is_root() {
+                "root".to_string()
+            } else {
+                format!("user{}", process.user().as_u32())
+            },
+            process.pid(),
+            process.parent(),
+            kernel.format_time(process.start_tick()),
+            process.command_string(),
+        ));
+    }
+    out
+}
+
+/// Parses the pid column out of a `ps -ef` listing for the first row whose
+/// command contains `needle` (the attacker-side half of "polling for pid").
+pub fn parse_pid_for_command(listing: &str, needle: &str) -> Option<u32> {
+    for line in listing.lines().skip(1) {
+        if !line.contains(needle) {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let _uid = fields.next()?;
+        return fields.next()?.parse().ok();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BoardConfig;
+    use crate::user::UserId;
+
+    fn kernel_with_victim() -> (Kernel, crate::Pid) {
+        let mut kernel = Kernel::boot(BoardConfig::tiny_for_tests());
+        kernel.spawn(UserId::new(0), &["sh"]).unwrap();
+        let victim = kernel
+            .spawn(
+                UserId::new(0),
+                &[
+                    "./resnet50_pt",
+                    "/usr/share/vitis_ai_library/models/resnet50_pt/resnet50_pt.xmodel",
+                    "../images/001.jpg",
+                ],
+            )
+            .unwrap();
+        kernel.grow_heap(victim, 5 * 4096).unwrap();
+        (kernel, victim)
+    }
+
+    #[test]
+    fn maps_file_contains_heap_line_in_expected_format() {
+        let (kernel, victim) = kernel_with_victim();
+        let process = kernel.process(victim).unwrap();
+        let maps = maps_file(process);
+        assert!(maps.contains("[heap]"), "maps output: {maps}");
+        let heap_line = maps.lines().find(|l| l.contains("[heap]")).unwrap();
+        assert!(heap_line.contains("rw-p"));
+        assert!(heap_line.starts_with(&format!("{:x}-", process.heap_base().as_u64())));
+    }
+
+    #[test]
+    fn heap_range_roundtrips_through_parse() {
+        let (kernel, victim) = kernel_with_victim();
+        let process = kernel.process(victim).unwrap();
+        let maps = maps_file(process);
+        let (start, end) = parse_heap_range(&maps).unwrap();
+        assert_eq!(start, process.heap_base());
+        assert_eq!(end, process.heap_end());
+    }
+
+    #[test]
+    fn parse_heap_range_handles_missing_heap() {
+        assert!(parse_heap_range("").is_none());
+        assert!(parse_heap_range("ffff-1000 rw-p 0 00:00 0 [stack]\n").is_none());
+        // Malformed heap lines are skipped rather than panicking.
+        assert!(parse_heap_range("zzzz [heap]").is_none());
+    }
+
+    #[test]
+    fn pagemap_bytes_have_eight_bytes_per_page() {
+        let (kernel, victim) = kernel_with_victim();
+        let process = kernel.process(victim).unwrap();
+        let bytes = pagemap_bytes(process, process.heap_base(), 7);
+        assert_eq!(bytes.len(), 7 * 8);
+        let entries = zynq_mmu::pagemap::decode_entries(&bytes);
+        // Five mapped heap pages, then absent entries.
+        assert!(entries[..5].iter().all(|e| e.is_present()));
+        assert!(entries[5..].iter().all(|e| !e.is_present()));
+    }
+
+    #[test]
+    fn ps_ef_lists_running_and_hides_terminated() {
+        let (mut kernel, victim) = kernel_with_victim();
+        let listing = ps_ef(&kernel);
+        assert!(listing.starts_with("UID"));
+        assert!(listing.contains("./resnet50_pt"));
+        assert_eq!(
+            parse_pid_for_command(&listing, "resnet50"),
+            Some(victim.as_u32())
+        );
+
+        kernel.terminate(victim).unwrap();
+        let listing_after = ps_ef(&kernel);
+        assert!(!listing_after.contains("./resnet50_pt"));
+        assert!(parse_pid_for_command(&listing_after, "resnet50").is_none());
+        // The shell process is still listed.
+        assert!(listing_after.contains("sh"));
+    }
+
+    #[test]
+    fn parse_pid_ignores_header_and_non_matching_rows() {
+        let listing = "UID PID PPID C STIME TTY TIME CMD\nroot  77  1 0 03:51 ? 00:00:00 sh\n";
+        assert_eq!(parse_pid_for_command(listing, "sh"), Some(77));
+        assert!(parse_pid_for_command(listing, "resnet").is_none());
+        assert!(parse_pid_for_command("", "x").is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! # vitis-ai-sim — a Vitis-AI-like model runtime (the victim workload)
+//!
+//! The paper's victim is `resnet50_pt` from the Vitis AI model library running
+//! on the ZCU104's DPU.  This crate provides the equivalent workload for the
+//! simulated board:
+//!
+//! - a [`ModelKind`] zoo mirroring the models the library ships
+//!   (resnet50_pt, squeezenet, inception_v1, …),
+//! - a synthetic [`xmodel::XModel`] container whose string table holds the
+//!   library-path strings the attack greps for in the memory dump,
+//! - deterministic synthetic [`weights`],
+//! - an [`Image`] type including the paper's corrupted `0xFFFFFF` image and
+//!   the `0x555555` profiling sentinel,
+//! - a reduced but real [`inference`] forward pass, and
+//! - the [`DpuRunner`], which spawns a victim process on a
+//!   [`petalinux_sim::Kernel`], loads the model and input image into its heap
+//!   with a model-deterministic layout, runs inference and (optionally)
+//!   terminates — leaving exactly the residue the attack recovers.
+//!
+//! # Example
+//!
+//! ```
+//! use petalinux_sim::{BoardConfig, Kernel, UserId};
+//! use vitis_ai_sim::{DpuRunner, ModelKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kernel = Kernel::boot(BoardConfig::tiny_for_tests());
+//! let run = DpuRunner::new(ModelKind::Resnet50Pt)
+//!     .run_to_completion(&mut kernel, UserId::new(0))?;
+//! assert!(run.logits().len() > 0);
+//! // The process has terminated, but its heap frames still hold data.
+//! assert!(kernel.residue_frame_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod image;
+pub mod inference;
+pub mod model;
+pub mod runner;
+pub mod weights;
+pub mod xmodel;
+
+pub use image::Image;
+pub use model::ModelKind;
+pub use runner::{CompletedRun, DpuRunner, HeapLayout, LaunchedRun, RunnerError};
+pub use xmodel::XModel;

@@ -1,0 +1,103 @@
+//! Deterministic synthetic model weights.
+//!
+//! The attack does not interpret weight values — it only needs a weight blob
+//! of the right (relative) size sitting in the victim's heap.  Weights are
+//! generated from a xorshift stream seeded by the model name, so every run of
+//! a given model places bit-identical weights at the same heap offsets, which
+//! is the determinism the paper's offline profiling exploits.
+
+use crate::model::ModelKind;
+
+/// Quantized (int8) weights for `model`, `simulated_param_count()` bytes long.
+pub fn quantized_weights(model: ModelKind) -> Vec<u8> {
+    let mut state = seed_for(model);
+    let count = model.simulated_param_count() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        state = xorshift(state);
+        out.push((state & 0xFF) as u8);
+    }
+    out
+}
+
+/// Floating-point weights for `model`, scaled to roughly unit variance.
+pub fn float_weights(model: ModelKind) -> Vec<f32> {
+    let mut state = seed_for(model);
+    let count = model.simulated_param_count() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        state = xorshift(state);
+        // Map to [-1, 1).
+        let unit = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        out.push(unit as f32);
+    }
+    out
+}
+
+/// Seed derived from the model's name (FNV-1a).
+pub fn seed_for(model: ModelKind) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in model.name().bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    if hash == 0 {
+        1
+    } else {
+        hash
+    }
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_deterministic_per_model() {
+        assert_eq!(
+            quantized_weights(ModelKind::Resnet50Pt),
+            quantized_weights(ModelKind::Resnet50Pt)
+        );
+        assert_eq!(
+            float_weights(ModelKind::SqueezeNet),
+            float_weights(ModelKind::SqueezeNet)
+        );
+    }
+
+    #[test]
+    fn different_models_have_different_weights_and_sizes() {
+        let resnet = quantized_weights(ModelKind::Resnet50Pt);
+        let squeeze = quantized_weights(ModelKind::SqueezeNet);
+        assert_ne!(resnet.len(), squeeze.len());
+        assert_ne!(&resnet[..64], &squeeze[..64]);
+        assert_ne!(seed_for(ModelKind::Resnet50Pt), seed_for(ModelKind::SqueezeNet));
+    }
+
+    #[test]
+    fn sizes_match_simulated_param_counts() {
+        for model in ModelKind::all() {
+            assert_eq!(
+                quantized_weights(model).len() as u64,
+                model.simulated_param_count()
+            );
+            assert_eq!(
+                float_weights(model).len() as u64,
+                model.simulated_param_count()
+            );
+        }
+    }
+
+    #[test]
+    fn float_weights_are_bounded_and_not_constant() {
+        let w = float_weights(ModelKind::Resnet50Pt);
+        assert!(w.iter().all(|v| (-1.0..1.0).contains(v)));
+        assert!(w.iter().any(|v| *v != w[0]));
+    }
+}

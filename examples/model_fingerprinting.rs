@@ -1,0 +1,57 @@
+//! Model fingerprinting across the zoo: run every Vitis-AI-style model as the
+//! victim and check whether the attack identifies it (and only it) from the
+//! scraped memory dump.
+//!
+//! Run with: `cargo run --example model_fingerprinting`
+
+use fpga_msa::msa::profile::Profiler;
+use fpga_msa::msa::report::{percent, TextTable};
+use fpga_msa::msa::scenario::AttackScenario;
+use fpga_msa::petalinux::BoardConfig;
+use fpga_msa::vitis::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = BoardConfig::zcu104();
+
+    // Profile the whole public library once (the attacker's offline phase),
+    // then reuse the database for every victim.
+    let profiles = Profiler::new(board).profile_all();
+
+    println!("== model fingerprinting across the zoo ==\n");
+    let mut table = TextTable::new(vec![
+        "victim model",
+        "identified as",
+        "correct",
+        "confidence",
+        "image recovered",
+    ]);
+
+    let mut correct = 0usize;
+    let zoo = ModelKind::all();
+    for model in zoo {
+        let outcome = AttackScenario::new(board, model)
+            .with_profiles(profiles.clone())
+            .execute()?;
+        let identified = outcome.identified_model();
+        if outcome.model_identification_correct() {
+            correct += 1;
+        }
+        table.add_row(vec![
+            model.to_string(),
+            identified
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "<none>".to_string()),
+            outcome.model_identification_correct().to_string(),
+            percent(outcome.attack().identification_confidence()),
+            percent(outcome.pixel_recovery_rate()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "identification accuracy: {}/{} ({})",
+        correct,
+        zoo.len(),
+        percent(correct as f64 / zoo.len() as f64)
+    );
+    Ok(())
+}

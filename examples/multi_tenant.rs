@@ -1,0 +1,43 @@
+//! Multi-tenant scenario: one tenant's terminated process is scraped while a
+//! second tenant keeps running, and the sanitization policies are compared on
+//! both axes the paper cares about — does the attack still work, and does the
+//! sanitizer destroy the *active* tenant's data?
+//!
+//! Run with: `cargo run --example multi_tenant`
+
+use fpga_msa::msa::defense::evaluate_multi_tenant;
+use fpga_msa::msa::report::{bytes, TextTable};
+use fpga_msa::petalinux::BoardConfig;
+use fpga_msa::vitis::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = BoardConfig::zcu104();
+    println!("== multi-tenant residue and collateral (victim: squeezenet, active: mobilenet_v2) ==\n");
+
+    let rows = evaluate_multi_tenant(board, ModelKind::SqueezeNet, ModelKind::MobileNetV2)?;
+
+    let mut table = TextTable::new(vec![
+        "sanitize policy",
+        "victim model identified",
+        "active tenant clobbered",
+        "active tenant data intact",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.policy.to_string(),
+            row.victim_model_identified.to_string(),
+            bytes(row.active_tenant_bytes_clobbered),
+            row.active_tenant_data_intact.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    println!("Reading the table:");
+    println!("- 'none' / 'background-scrub': the attack recovers the terminated tenant's model;");
+    println!("  nothing protects the residue.");
+    println!("- 'zero-on-free' / 'selective-scrub': the attack is defeated and the co-tenant is unharmed.");
+    println!("- 'rowclone' / 'rowreset': the attack is defeated, but the contiguous/bank-granular");
+    println!("  clearing also destroys the still-running tenant's data — the hazard the paper");
+    println!("  highlights for multi-tenant FPGAs with non-contiguous allocations.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: one end-to-end memory scraping attack on a stock ZCU104.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fpga_msa::msa::scenario::AttackScenario;
+use fpga_msa::petalinux::BoardConfig;
+use fpga_msa::vitis::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A victim tenant runs resnet50_pt (the paper's victim model) on the
+    // Xilinx-style sample image; the board uses the vulnerable PetaLinux
+    // defaults: no sanitization at process exit, permissive debugger access,
+    // deterministic layout.
+    let scenario = AttackScenario::new(BoardConfig::zcu104(), ModelKind::Resnet50Pt);
+    let outcome = scenario.execute()?;
+
+    println!("== memory scraping attack: quickstart ==");
+    println!("victim pid            : {}", outcome.attack().victim_pid);
+    println!(
+        "model identified      : {}",
+        outcome
+            .identified_model()
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "<none>".to_string())
+    );
+    println!(
+        "identification correct: {}",
+        outcome.model_identification_correct()
+    );
+    println!(
+        "identification conf.  : {:.0}%",
+        outcome.attack().identification_confidence() * 100.0
+    );
+    println!(
+        "input image recovered : {:.1}% of pixels",
+        outcome.pixel_recovery_rate() * 100.0
+    );
+    println!("bytes scraped         : {}", outcome.bytes_scraped());
+    println!(
+        "residue frames left   : {}",
+        outcome.residue_frames_after()
+    );
+    println!(
+        "attack wall-clock     : {:?}",
+        outcome.attack().timings.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # fpga-msa — Memory Scraping Attack on Xilinx FPGAs (reproduction)
+//!
+//! This meta-crate re-exports every crate in the reproduction workspace so
+//! that examples and downstream users can depend on a single package:
+//!
+//! - [`dram`] — physical DRAM model of the ZCU104's local memory
+//!   (residue retention, DDR address mapping, sanitization policies).
+//! - [`mmu`] — virtual memory: page tables, frame allocation, Linux-format
+//!   `pagemap` encoding, address-space layout policies.
+//! - [`petalinux`] — an embedded-OS simulator standing in for PetaLinux:
+//!   processes, users, per-process heaps, `/proc` emulation and shell
+//!   commands (`ps -ef`, `devmem`, `hexdump`).
+//! - [`vitis`] — a Vitis-AI-like model runtime: model zoo, `.xmodel`
+//!   container, images and a DPU runner that plays the victim workload.
+//! - [`debugger`] — the Xilinx System Debugger analogue used as the attack
+//!   channel.
+//! - [`msa`] — the paper's contribution: the memory scraping attack
+//!   pipeline, offline profiler, dump analysis and defense evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fpga_msa::msa::scenario::AttackScenario;
+//! use fpga_msa::petalinux::BoardConfig;
+//! use fpga_msa::vitis::ModelKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A victim runs resnet50_pt on a stock (vulnerable) board; a second user
+//! // observes it with the debugger, waits for termination, scrapes DRAM and
+//! // analyses the residue.
+//! let outcome = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::Resnet50Pt)
+//!     .with_corrupted_input()
+//!     .execute()?;
+//! assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
+//! assert!(outcome.pixel_recovery_rate() > 0.95);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use msa_core as msa;
+pub use petalinux_sim as petalinux;
+pub use vitis_ai_sim as vitis;
+pub use xsdb as debugger;
+pub use zynq_dram as dram;
+pub use zynq_mmu as mmu;
