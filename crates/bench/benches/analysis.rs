@@ -24,8 +24,13 @@ fn scraped_dump(model: ModelKind) -> MemoryDump {
         .expect("translation captured");
     let pid = setup.victim.pid();
     setup.kernel.terminate(pid).expect("victim terminates");
-    scrape_heap(&mut debugger, &setup.kernel, &translation, ScrapeMode::ContiguousRange)
-        .expect("scrape succeeds")
+    scrape_heap(
+        &mut debugger,
+        &setup.kernel,
+        &translation,
+        ScrapeMode::ContiguousRange,
+    )
+    .expect("scrape succeeds")
 }
 
 fn bench_analysis(c: &mut Criterion) {

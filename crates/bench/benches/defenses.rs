@@ -63,5 +63,9 @@ fn bench_modelled_scrub_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_termination_under_policies, bench_modelled_scrub_cost);
+criterion_group!(
+    benches,
+    bench_termination_under_policies,
+    bench_modelled_scrub_cost
+);
 criterion_main!(benches);

@@ -21,8 +21,9 @@ fn bench_scraping(c: &mut Criterion) {
     for model in [ModelKind::SqueezeNet, ModelKind::Resnet50Pt] {
         let mut setup = launch_victim(bench_board(), model);
         let mut debugger = attacker_debugger();
-        let translation = capture_heap_translation(&mut debugger, &setup.kernel, setup.victim.pid())
-            .expect("translation captured");
+        let translation =
+            capture_heap_translation(&mut debugger, &setup.kernel, setup.victim.pid())
+                .expect("translation captured");
         let pid = setup.victim.pid();
         setup.kernel.terminate(pid).expect("victim terminates");
         group.throughput(Throughput::Bytes(translation.heap_len()));
@@ -39,7 +40,13 @@ fn bench_scraping(c: &mut Criterion) {
 
         group.bench_function(format!("single_devmem_word/{}", model.name()), |b| {
             let addr = translation.phys_start().expect("resident");
-            b.iter(|| black_box(debugger.read_phys_u32(&setup.kernel, addr).expect("readable")))
+            b.iter(|| {
+                black_box(
+                    debugger
+                        .read_phys_u32(&setup.kernel, addr)
+                        .expect("readable"),
+                )
+            })
         });
     }
     group.finish();

@@ -25,7 +25,10 @@ fn bench_dram(c: &mut Criterion) {
 
     group.throughput(Throughput::Bytes(PAGE_SIZE));
     group.bench_function("write_page", |b| {
-        b.iter(|| dram.write_bytes(black_box(base), black_box(&page), owner).unwrap())
+        b.iter(|| {
+            dram.write_bytes(black_box(base), black_box(&page), owner)
+                .unwrap()
+        })
     });
     group.bench_function("read_page", |b| {
         let mut buf = vec![0u8; PAGE_SIZE as usize];
@@ -123,7 +126,12 @@ fn bench_vitis(c: &mut Criterion) {
 
     group.bench_function("inference_forward_pass/resnet50_pt", |b| {
         let input = Image::sample_photo(224, 224);
-        b.iter(|| black_box(vitis_ai_sim::inference::run_inference(ModelKind::Resnet50Pt, &input)))
+        b.iter(|| {
+            black_box(vitis_ai_sim::inference::run_inference(
+                ModelKind::Resnet50Pt,
+                &input,
+            ))
+        })
     });
 
     group.finish();

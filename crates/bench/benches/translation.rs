@@ -16,7 +16,11 @@ fn bench_translation(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     group.sample_size(20);
 
-    for model in [ModelKind::SqueezeNet, ModelKind::Resnet50Pt, ModelKind::Vgg16] {
+    for model in [
+        ModelKind::SqueezeNet,
+        ModelKind::Resnet50Pt,
+        ModelKind::Vgg16,
+    ] {
         let setup = launch_victim(bench_board(), model);
         let pid = setup.victim.pid();
 
@@ -39,7 +43,11 @@ fn bench_translation(c: &mut Criterion) {
 
         group.bench_function(format!("point_translate/{}", model.name()), |b| {
             let mut debugger = attacker_debugger();
-            let heap = setup.kernel.process(pid).expect("victim exists").heap_base();
+            let heap = setup
+                .kernel
+                .process(pid)
+                .expect("victim exists")
+                .heap_base();
             b.iter(|| {
                 black_box(
                     debugger

@@ -11,6 +11,7 @@
 //! `--fingerprint` (TAB-C), `--aslr` (TAB-D), `--boards` (TAB-E),
 //! `--multitenant` (TAB-F), `--all`.
 
+use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::defense::{
     evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
@@ -21,12 +22,41 @@ use msa_core::report::{bytes, percent, TextTable};
 use msa_core::scenario::AttackScenario;
 use petalinux_sim::{BoardConfig, Kernel, Shell};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
-use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--all",
+    "--fig4",
+    "--fig5",
+    "--fig6",
+    "--fig7",
+    "--fig8",
+    "--fig9",
+    "--fig10",
+    "--fig11",
+    "--fig12",
+    "--timing",
+    "--defenses",
+    "--fingerprint",
+    "--aslr",
+    "--boards",
+    "--multitenant",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(unknown) = args.iter().find(|a| !KNOWN_FLAGS.contains(&a.as_str())) {
+        eprintln!("error: unknown flag `{unknown}`");
+        eprintln!("usage: experiments [{}]", KNOWN_FLAGS.join(" | "));
+        std::process::exit(2);
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let want = |flag: &str| {
+        debug_assert!(
+            KNOWN_FLAGS.contains(&flag),
+            "dispatch flag {flag} missing from KNOWN_FLAGS"
+        );
+        all || args.iter().any(|a| a == flag)
+    };
 
     if want("--fig4") {
         fig4();
@@ -64,13 +94,12 @@ fn fig4() {
     println!("=== FIG4: original vs corrupted input image ===");
     let original = Image::sample_photo(224, 224);
     let corrupted = Image::corrupted(224, 224);
-    println!("original : {original} ({} bytes)", original.as_bytes().len());
+    println!(
+        "original : {original} ({} bytes)",
+        original.as_bytes().len()
+    );
     println!("corrupted: {corrupted}, every pixel set to 0xFFFFFF");
-    let ff_fraction = corrupted
-        .as_bytes()
-        .iter()
-        .filter(|&&b| b == 0xFF)
-        .count() as f64
+    let ff_fraction = corrupted.as_bytes().iter().filter(|&&b| b == 0xFF).count() as f64
         / corrupted.as_bytes().len() as f64;
     println!("corrupted 0xFF byte fraction: {}", percent(ff_fraction));
     println!(
@@ -95,7 +124,7 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
 
     if want("--fig5") {
         println!("=== FIG5: ps -ef before the victim runs ===");
-        print!("{}\n", shell.ps_ef(&kernel));
+        println!("{}", shell.ps_ef(&kernel));
     }
 
     let victim = DpuRunner::new(ModelKind::Resnet50Pt)
@@ -104,7 +133,7 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
 
     if want("--fig6") {
         println!("=== FIG6: ps -ef with the victim running ===");
-        print!("{}\n", shell.ps_ef(&kernel));
+        println!("{}", shell.ps_ef(&kernel));
     }
 
     let observation = pipeline.poll_and_observe(&mut debugger, &kernel)?;
@@ -139,7 +168,7 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
 
     if want("--fig9") {
         println!("=== FIG9: ps -ef after victim termination (pid {pid} gone) ===");
-        print!("{}\n", shell.ps_ef(&kernel));
+        println!("{}", shell.ps_ef(&kernel));
     }
 
     if want("--fig10") {
@@ -185,7 +214,10 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
     if want("--timing") {
         println!("=== TAB-A: per-step attack latency (this run) ===");
         let mut table = TextTable::new(vec!["step", "wall-clock"]);
-        table.add_row(vec!["1. poll for pid".into(), format!("{:?}", outcome.timings.poll)]);
+        table.add_row(vec![
+            "1. poll for pid".into(),
+            format!("{:?}", outcome.timings.poll),
+        ]);
         table.add_row(vec![
             "2. translate heap".into(),
             format!("{:?}", outcome.timings.translate),
@@ -198,7 +230,10 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
             "4. analyse dump".into(),
             format!("{:?}", outcome.timings.analyze),
         ]);
-        table.add_row(vec!["total".into(), format!("{:?}", outcome.timings.total())]);
+        table.add_row(vec![
+            "total".into(),
+            format!("{:?}", outcome.timings.total()),
+        ]);
         println!("{table}");
         println!(
             "bytes scraped: {}, dump coverage: {}\n",
@@ -322,7 +357,10 @@ fn boards() -> Result<(), Box<dyn std::error::Error>> {
         "pixel recovery",
         "residue frames",
     ]);
-    for (name, config) in [("ZCU104", BoardConfig::zcu104()), ("ZCU102", BoardConfig::zcu102())] {
+    for (name, config) in [
+        ("ZCU104", BoardConfig::zcu104()),
+        ("ZCU102", BoardConfig::zcu102()),
+    ] {
         let outcome = AttackScenario::new(config, ModelKind::Resnet50Pt)
             .with_corrupted_input()
             .execute()?;

@@ -37,7 +37,11 @@ mod tests {
     fn dump_for(model: ModelKind, input: &Image) -> (MemoryDump, u64) {
         let (bytes, layout) = heap_image(model, input);
         (
-            MemoryDump::from_contiguous(VirtAddr::new(0xaaaa_ee77_5000), PhysAddr::new(0x6_0000_0000), bytes),
+            MemoryDump::from_contiguous(
+                VirtAddr::new(0xaaaa_ee77_5000),
+                PhysAddr::new(0x6_0000_0000),
+                bytes,
+            ),
             layout.image_offset,
         )
     }

@@ -46,7 +46,10 @@ pub fn marker_runs(dump: &MemoryDump, marker: u32, min_len: u64) -> Vec<MarkerRu
             }
             // Extend over a partial trailing word of the same byte (runs of a
             // repeated byte are not word-quantized in the dump).
-            while i < bytes.len() && bytes[i] == pattern[0] && pattern.iter().all(|&b| b == pattern[0]) {
+            while i < bytes.len()
+                && bytes[i] == pattern[0]
+                && pattern.iter().all(|&b| b == pattern[0])
+            {
                 i += 1;
             }
             let len = (i - start) as u64;
@@ -143,10 +146,7 @@ mod tests {
         let mut bytes = vec![0xFFu8; 16];
         bytes.extend_from_slice(&[0x55; 16]);
         let dump = dump_of(bytes);
-        assert_eq!(
-            first_marker_offset(&dump, CORRUPTED_MARKER, 8),
-            Some(0)
-        );
+        assert_eq!(first_marker_offset(&dump, CORRUPTED_MARKER, 8), Some(0));
         assert_eq!(first_marker_offset(&dump, SENTINEL_MARKER, 8), Some(16));
     }
 

@@ -53,7 +53,11 @@ mod tests {
     #[test]
     fn identifies_every_zoo_model_from_its_own_dump() {
         let db = SignatureDb::standard();
-        for model in [ModelKind::Resnet50Pt, ModelKind::SqueezeNet, ModelKind::YoloV3] {
+        for model in [
+            ModelKind::Resnet50Pt,
+            ModelKind::SqueezeNet,
+            ModelKind::YoloV3,
+        ] {
             let dump = scraped_dump(model);
             let matched = identify_model(&dump, &db).expect("model should be identified");
             assert_eq!(matched.model, model, "misidentified {model}");
@@ -66,11 +70,7 @@ mod tests {
 
     #[test]
     fn sanitized_dump_yields_no_identification() {
-        let dump = MemoryDump::from_contiguous(
-            VirtAddr::new(0),
-            PhysAddr::new(0),
-            vec![0u8; 8192],
-        );
+        let dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), vec![0u8; 8192]);
         assert!(identify_model(&dump, &SignatureDb::standard()).is_none());
         assert!(path_like_strings(&dump).is_empty());
     }

@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn sanitized_dump_has_no_weight_matches() {
-        let empty = MemoryDump::from_contiguous(
-            VirtAddr::new(0),
-            PhysAddr::new(0),
-            vec![0u8; 64 * 1024],
-        );
+        let empty =
+            MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), vec![0u8; 64 * 1024]);
         assert!(match_weights(&empty).is_empty());
         assert!(identify_model_by_weights(&empty).is_none());
     }
@@ -161,7 +158,7 @@ mod tests {
         let known = weights::quantized_weights(ModelKind::SqueezeNet);
         let mut bytes = vec![0u8; 512];
         bytes.extend_from_slice(&known[..known.len() / 4]);
-        bytes.extend(std::iter::repeat(0u8).take(known.len()));
+        bytes.extend(std::iter::repeat_n(0u8, known.len()));
         let dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), bytes);
         let best = identify_model_by_weights(&dump).expect("probe matches");
         assert_eq!(best.model, ModelKind::SqueezeNet);

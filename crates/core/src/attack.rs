@@ -2,8 +2,8 @@
 
 use std::time::Instant;
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{Kernel, Pid};
+use serde::{Deserialize, Serialize};
 use vitis_ai_sim::ModelKind;
 use xsdb::DebugSession;
 
@@ -21,20 +21,16 @@ use crate::translate::{capture_heap_translation, HeapTranslation};
 /// How physical memory is read during scraping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum ScrapeMode {
     /// Translate only the heap endpoints and read the contiguous physical
     /// range between them (the paper's method; assumes a physically
     /// contiguous heap).
+    #[default]
     ContiguousRange,
     /// Translate and read every heap page individually (a stronger attacker
     /// that survives physical-layout randomization).
     PerPage,
-}
-
-impl Default for ScrapeMode {
-    fn default() -> Self {
-        ScrapeMode::ContiguousRange
-    }
 }
 
 impl std::fmt::Display for ScrapeMode {
@@ -194,12 +190,14 @@ impl AttackPipeline {
         kernel: &Kernel,
     ) -> Result<Pid, AttackError> {
         let processes = debugger.list_processes(kernel);
-        let matched = processes.into_iter().find(|p| match &self.config.victim_pattern {
-            Some(pattern) => p.command.contains(pattern),
-            None => ModelKind::all()
-                .iter()
-                .any(|model| p.command.contains(model.name())),
-        });
+        let matched = processes
+            .into_iter()
+            .find(|p| match &self.config.victim_pattern {
+                Some(pattern) => p.command.contains(pattern),
+                None => ModelKind::all()
+                    .iter()
+                    .any(|model| p.command.contains(model.name())),
+            });
         matched.map(|p| p.pid).ok_or(AttackError::VictimNotFound)
     }
 
@@ -291,8 +289,7 @@ impl AttackPipeline {
                     image_offset_used = Some(OffsetSource::Marker { offset: run.offset });
                 }
                 if let Some(source) = image_offset_used {
-                    reconstructed_image =
-                        reconstruct_image(dump, matched.model, source.offset());
+                    reconstructed_image = reconstruct_image(dump, matched.model, source.offset());
                 }
             }
         }
@@ -376,7 +373,9 @@ mod tests {
         assert!(observation.translation().completeness() > 0.99);
 
         victim.terminate(&mut kernel).unwrap();
-        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+        let outcome = pipeline
+            .execute(&mut debugger, &kernel, &observation)
+            .unwrap();
 
         assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
         assert!(outcome.identification_confidence() >= 0.5);
@@ -405,7 +404,9 @@ mod tests {
         let mut debugger = DebugSession::connect(UserId::new(1));
         let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
         victim.terminate(&mut kernel).unwrap();
-        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+        let outcome = pipeline
+            .execute(&mut debugger, &kernel, &observation)
+            .unwrap();
 
         assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
         assert!(!outcome.marker_runs.is_empty());
@@ -481,7 +482,9 @@ mod tests {
         let mut debugger = DebugSession::connect(UserId::new(1));
         let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
         victim.terminate(&mut kernel).unwrap();
-        let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+        let outcome = pipeline
+            .execute(&mut debugger, &kernel, &observation)
+            .unwrap();
 
         assert!(outcome.identified_model().is_none());
         assert!(outcome.marker_runs.is_empty());

@@ -6,8 +6,8 @@
 //! debugger, and randomizing layout.  These sweeps supply the missing numbers
 //! (experiments TAB-B, TAB-D, TAB-F and the isolation ablation).
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, UserId};
+use serde::{Deserialize, Serialize};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
 use xsdb::DebugSession;
 use zynq_dram::SanitizePolicy;
@@ -93,8 +93,8 @@ pub fn evaluate_isolation(
 ) -> Result<Vec<IsolationRow>, AttackError> {
     let mut rows = Vec::new();
     for isolation in [IsolationPolicy::Permissive, IsolationPolicy::Confined] {
-        let scenario = AttackScenario::new(board.with_isolation(isolation), model)
-            .with_corrupted_input();
+        let scenario =
+            AttackScenario::new(board.with_isolation(isolation), model).with_corrupted_input();
         let (result, outcome) = scenario.execute_allow_blocked()?;
         match (result, outcome) {
             (ScenarioResult::Completed, Some(outcome)) => rows.push(IsolationRow {
@@ -144,7 +144,10 @@ pub fn evaluate_layout_randomization(
 ) -> Result<Vec<LayoutRow>, AttackError> {
     let layouts = [
         (AllocationOrder::Sequential, AslrMode::Disabled),
-        (AllocationOrder::Randomized { seed: 0xC0FFEE }, AslrMode::Disabled),
+        (
+            AllocationOrder::Randomized { seed: 0xC0FFEE },
+            AslrMode::Disabled,
+        ),
         (AllocationOrder::Sequential, AslrMode::Virtual { seed: 7 }),
         (
             AllocationOrder::Randomized { seed: 0xC0FFEE },
@@ -237,7 +240,10 @@ pub fn evaluate_multi_tenant(
         kernel.terminate(warmup)?;
 
         let victim = DpuRunner::new(victim_model)
-            .with_input(Image::corrupted(victim_model.input_dims().0, victim_model.input_dims().1))
+            .with_input(Image::corrupted(
+                victim_model.input_dims().0,
+                victim_model.input_dims().1,
+            ))
             .launch(&mut kernel, tenant_a)
             .map_err(|e| match e {
                 vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
@@ -320,7 +326,10 @@ mod tests {
             SanitizePolicy::SelectiveScrub,
         ] {
             let row = by_policy(policy);
-            assert!(!row.model_identified, "{policy} should defeat identification");
+            assert!(
+                !row.model_identified,
+                "{policy} should defeat identification"
+            );
             assert_eq!(row.pixel_recovery, 0.0, "{policy} should defeat recovery");
             assert!(row.scrub_cost_cycles > 0.0);
         }
@@ -368,8 +377,7 @@ mod tests {
         let find = |order_random: bool, mode: ScrapeMode| {
             rows.iter()
                 .find(|r| {
-                    matches!(r.allocation_order, AllocationOrder::Randomized { .. })
-                        == order_random
+                    matches!(r.allocation_order, AllocationOrder::Randomized { .. }) == order_random
                         && r.aslr == AslrMode::Disabled
                         && r.scrape_mode == mode
                 })
@@ -418,7 +426,10 @@ mod tests {
         for policy in [SanitizePolicy::ZeroOnFree, SanitizePolicy::SelectiveScrub] {
             let row = by_policy(policy);
             assert!(!row.victim_model_identified);
-            assert!(row.active_tenant_data_intact, "{policy} must not clobber the co-tenant");
+            assert!(
+                row.active_tenant_data_intact,
+                "{policy} must not clobber the co-tenant"
+            );
             assert_eq!(row.active_tenant_bytes_clobbered, 0);
         }
 
@@ -427,7 +438,10 @@ mod tests {
         for policy in [SanitizePolicy::RowClone, SanitizePolicy::RowReset] {
             let row = by_policy(policy);
             assert!(!row.victim_model_identified);
-            assert!(row.active_tenant_bytes_clobbered > 0, "{policy} should clobber");
+            assert!(
+                row.active_tenant_bytes_clobbered > 0,
+                "{policy} should clobber"
+            );
             assert!(!row.active_tenant_data_intact);
         }
     }

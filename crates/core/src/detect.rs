@@ -10,8 +10,8 @@
 //! heuristics over the [`xsdb::AuditLog`] every debug session accumulates, so
 //! the defense discussion can be quantified from the defender's side too.
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{Kernel, Pid, UserId};
+use serde::{Deserialize, Serialize};
 use xsdb::{AuditLog, DebugOp};
 
 /// Thresholds for flagging a debug session as a scraping attempt.

@@ -43,7 +43,7 @@ impl MemoryDump {
                     sources.push(Some(pa));
                 }
                 None => {
-                    bytes.extend(std::iter::repeat(0u8).take(PAGE_SIZE as usize));
+                    bytes.extend(std::iter::repeat_n(0u8, PAGE_SIZE as usize));
                     sources.push(None);
                 }
             }
@@ -224,11 +224,8 @@ mod tests {
 
     #[test]
     fn slice_bounds() {
-        let dump = MemoryDump::from_contiguous(
-            VirtAddr::new(0),
-            PhysAddr::new(0),
-            (0u8..=255).collect(),
-        );
+        let dump =
+            MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), (0u8..=255).collect());
         assert_eq!(dump.slice(10, 3), Some(&[10u8, 11, 12][..]));
         assert!(dump.slice(250, 10).is_none());
         assert!(dump.slice(u64::MAX, 1).is_none());
@@ -244,7 +241,10 @@ mod tests {
         bytes.extend_from_slice(b"vitis_ai_library");
         let dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), bytes);
         let strings = dump.ascii_strings(4);
-        assert_eq!(strings, vec!["resnet50_pt".to_string(), "vitis_ai_library".to_string()]);
+        assert_eq!(
+            strings,
+            vec!["resnet50_pt".to_string(), "vitis_ai_library".to_string()]
+        );
         // Lower threshold picks up the short string too.
         assert!(dump.ascii_strings(2).contains(&"ab".to_string()));
     }

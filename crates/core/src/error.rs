@@ -49,7 +49,10 @@ impl fmt::Display for AttackError {
                 write!(f, "no heap page of pid {pid} could be translated")
             }
             AttackError::VictimStillRunning { pid } => {
-                write!(f, "victim pid {pid} is still running; scraping requires termination")
+                write!(
+                    f,
+                    "victim pid {pid} is still running; scraping requires termination"
+                )
             }
             AttackError::ProfileMissing { model } => {
                 write!(f, "no offline profile available for model {model}")
@@ -80,7 +83,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AttackError::VictimNotFound.to_string().contains("no running victim"));
+        assert!(AttackError::VictimNotFound
+            .to_string()
+            .contains("no running victim"));
         assert!(AttackError::HeapNotFound { pid: Pid::new(1) }
             .to_string()
             .contains("[heap]"));

@@ -112,7 +112,13 @@ impl HexDump {
                 let ascii: String = row
                     .bytes
                     .iter()
-                    .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+                    .map(|&b| {
+                        if (0x20..0x7f).contains(&b) {
+                            b as char
+                        } else {
+                            '.'
+                        }
+                    })
                     .collect();
                 ascii.contains(needle)
             })
@@ -204,7 +210,7 @@ mod tests {
         assert_eq!(dump.find_row(&[0xDE, 0xAD, 0xBE, 0xEF]), Some(2));
         assert!(dump.find(&[1, 2, 3]).is_none());
         assert!(dump.find(&[]).is_none());
-        assert!(dump.find(&vec![0u8; 200]).is_none());
+        assert!(dump.find(&[0u8; 200]).is_none());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::Pid;
+use serde::{Deserialize, Serialize};
 use vitis_ai_sim::{Image, ModelKind};
 
 use crate::analysis::marker::MarkerRun;
@@ -138,10 +138,7 @@ mod tests {
         assert!(outcome.identified_model().is_none());
         assert_eq!(outcome.identification_confidence(), 0.0);
         assert!(!outcome.has_reconstructed_image());
-        assert_eq!(
-            outcome.image_recovery_rate(&Image::corrupted(4, 4)),
-            0.0
-        );
+        assert_eq!(outcome.image_recovery_rate(&Image::corrupted(4, 4)), 0.0);
     }
 
     #[test]
@@ -154,7 +151,10 @@ mod tests {
                 hits: 3,
                 total_patterns: 3,
             }),
-            marker_runs: vec![MarkerRun { offset: 64, len: 192 }],
+            marker_runs: vec![MarkerRun {
+                offset: 64,
+                len: 192,
+            }],
             reconstructed_image: Some(Image::corrupted(8, 8)),
             image_offset_used: Some(OffsetSource::Profile { offset: 64 }),
             bytes_scraped: 4096,

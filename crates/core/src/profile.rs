@@ -10,8 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{BoardConfig, Kernel, UserId};
+use serde::{Deserialize, Serialize};
 use vitis_ai_sim::{weights, DpuRunner, Image, ModelKind};
 use xsdb::DebugSession;
 
@@ -119,11 +119,9 @@ impl Profiler {
 
         let mut debugger = DebugSession::connect(user);
         let translation = capture_heap_translation(&mut debugger, &kernel, launched.pid())?;
-        launched
-            .terminate(&mut kernel)
-            .map_err(|e| match e {
-                vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
-            })?;
+        launched.terminate(&mut kernel).map_err(|e| match e {
+            vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
+        })?;
         let dump = scrape_heap(&mut debugger, &kernel, &translation, self.scrape_mode)?;
 
         let min_run = (w as u64 * 3).max(64);
@@ -134,10 +132,7 @@ impl Profiler {
         // weight blob by searching for its first bytes.
         let known_weights = weights::quantized_weights(model);
         let prefix = &known_weights[..known_weights.len().min(32)];
-        let weights_offset = dump
-            .to_hexdump()
-            .find(prefix)
-            .map(|offset| offset as u64);
+        let weights_offset = dump.to_hexdump().find(prefix).map(|offset| offset as u64);
 
         Ok(ModelProfile {
             model,
@@ -169,10 +164,7 @@ mod tests {
     fn profiled_image_offset_matches_ground_truth_layout() {
         let profiler = Profiler::new(BoardConfig::tiny_for_tests());
         let profile = profiler.profile_model(ModelKind::Resnet50Pt).unwrap();
-        let (_, layout) = heap_image(
-            ModelKind::Resnet50Pt,
-            &Image::profiling_sentinel(224, 224),
-        );
+        let (_, layout) = heap_image(ModelKind::Resnet50Pt, &Image::profiling_sentinel(224, 224));
         assert_eq!(profile.image_offset, layout.image_offset);
         assert_eq!(profile.heap_len, layout.heap_len);
         assert_eq!(profile.weights_offset, Some(layout.weights_offset));

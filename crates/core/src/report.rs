@@ -125,7 +125,11 @@ mod tests {
     fn table_renders_aligned_columns() {
         let mut table = TextTable::new(vec!["policy", "recovery", "cost"]);
         table.add_row(vec!["none".into(), "100.0%".into(), "0".into()]);
-        table.add_row(vec!["selective-scrub".into(), "0.0%".into(), "123456".into()]);
+        table.add_row(vec![
+            "selective-scrub".into(),
+            "0.0%".into(),
+            "123456".into(),
+        ]);
         assert_eq!(table.row_count(), 2);
         let rendered = table.render();
         let lines: Vec<&str> = rendered.lines().collect();

@@ -5,8 +5,8 @@
 //! the victim model, let the attacker observe it, terminate the victim, run
 //! the attack, and score the result against ground truth.
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{BoardConfig, Kernel, UserId};
+use serde::{Deserialize, Serialize};
 use vitis_ai_sim::{CompletedRun, DpuRunner, Image, ModelKind, RunnerError};
 use xsdb::DebugSession;
 use zynq_dram::ScrubReport;

@@ -5,9 +5,9 @@
 //! (`/proc/<pid>/maps` text and `/proc/<pid>/pagemap` entries), never with
 //! kernel internals.
 
-use serde::{Deserialize, Serialize};
-use petalinux_sim::{Kernel, Pid};
 use petalinux_sim::procfs::parse_heap_range;
+use petalinux_sim::{Kernel, Pid};
+use serde::{Deserialize, Serialize};
 use xsdb::DebugSession;
 use zynq_dram::{PhysAddr, PAGE_SIZE};
 use zynq_mmu::VirtAddr;
@@ -240,7 +240,10 @@ mod tests {
         assert_eq!(t.phys_start(), Some(PhysAddr::new(0x10000)));
         // Last page is absent, so the upper endpoint is unknown.
         assert_eq!(t.phys_end(), None);
-        assert_eq!(t.translate(VirtAddr::new(0x1010)), Some(PhysAddr::new(0x10010)));
+        assert_eq!(
+            t.translate(VirtAddr::new(0x1010)),
+            Some(PhysAddr::new(0x10010))
+        );
         assert_eq!(t.translate(VirtAddr::new(0x2010)), None);
 
         let empty = HeapTranslation::from_parts(

@@ -8,8 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{Pid, UserId};
+use serde::{Deserialize, Serialize};
 use zynq_dram::PhysAddr;
 
 /// The kind of operation a debugger session performed.

@@ -1,7 +1,7 @@
 //! Debugger sessions.
 
-use serde::{Deserialize, Serialize};
 use petalinux_sim::{Kernel, KernelError, Pid, Shell, UserId};
+use serde::{Deserialize, Serialize};
 use zynq_dram::PhysAddr;
 use zynq_mmu::{pagemap, PagemapEntry, VirtAddr};
 
@@ -221,7 +221,10 @@ mod tests {
         assert!(entries[0].is_present());
 
         // Debugger-side translation agrees with the kernel's own translation.
-        let pa = dbg.translate(&kernel, run.pid(), heap + 0x730).unwrap().unwrap();
+        let pa = dbg
+            .translate(&kernel, run.pid(), heap + 0x730)
+            .unwrap()
+            .unwrap();
         let truth = kernel
             .process(run.pid())
             .unwrap()
@@ -265,9 +268,7 @@ mod tests {
         assert!(dbg
             .read_pagemap(&kernel, run.pid(), VirtAddr::new(0), 1)
             .is_err());
-        assert!(dbg
-            .translate(&kernel, run.pid(), VirtAddr::new(0))
-            .is_err());
+        assert!(dbg.translate(&kernel, run.pid(), VirtAddr::new(0)).is_err());
         assert!(dbg
             .read_phys_u32(&kernel, kernel.config().dram().base())
             .is_err());

@@ -28,7 +28,9 @@ pub const PAGE_SIZE: u64 = 4096;
 /// assert_eq!(pa.frame_number().as_u64(), 0x61c6_d730 / 4096);
 /// assert_eq!(pa.page_offset(), 0x730);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(u64);
 
 impl PhysAddr {
@@ -70,7 +72,7 @@ impl PhysAddr {
 
     /// Returns `true` if the address is frame-aligned.
     pub const fn is_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Checked addition of a byte offset.
@@ -156,7 +158,9 @@ impl Sub<u64> for PhysAddr {
 /// assert_eq!(frame.base_address(), PhysAddr::new(0x61c6d000));
 /// assert_eq!(frame.next().as_u64(), 0x61c6e);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct FrameNumber(u64);
 
 impl FrameNumber {
@@ -245,10 +249,7 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert!(PhysAddr::new(u64::MAX).checked_add(1).is_none());
-        assert_eq!(
-            PhysAddr::new(10).checked_add(5),
-            Some(PhysAddr::new(15))
-        );
+        assert_eq!(PhysAddr::new(10).checked_add(5), Some(PhysAddr::new(15)));
     }
 
     #[test]

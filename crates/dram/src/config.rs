@@ -44,7 +44,11 @@ impl DdrGeometry {
 
     /// Total number of addressable bytes described by this geometry.
     pub const fn capacity(&self) -> u64 {
-        1u64 << (self.column_bits + self.bank_bits + self.bank_group_bits + self.row_bits + self.rank_bits)
+        1u64 << (self.column_bits
+            + self.bank_bits
+            + self.bank_group_bits
+            + self.row_bits
+            + self.rank_bits)
     }
 
     /// Bytes per DRAM row (the unit RowClone-style bulk initialization works on).
@@ -142,7 +146,11 @@ impl DramConfig {
     pub fn custom(base: PhysAddr, capacity: u64, geometry: DdrGeometry) -> Self {
         assert!(base.is_aligned(), "DRAM base must be page aligned");
         assert!(capacity > 0, "DRAM capacity must be non-zero");
-        assert_eq!(capacity % PAGE_SIZE, 0, "DRAM capacity must be page-multiple");
+        assert_eq!(
+            capacity % PAGE_SIZE,
+            0,
+            "DRAM capacity must be page-multiple"
+        );
         DramConfig {
             board: BoardModel::Custom,
             base,

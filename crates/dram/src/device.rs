@@ -121,7 +121,7 @@ impl Dram {
     }
 
     fn check_aligned(&self, addr: PhysAddr, align: u64) -> Result<(), DramError> {
-        if addr.as_u64() % align != 0 {
+        if !addr.as_u64().is_multiple_of(align) {
             return Err(DramError::Misaligned {
                 addr,
                 required: align,
@@ -139,11 +139,7 @@ impl Dram {
         self.check_range(addr, 1)?;
         let idx = self.frame_index(addr);
         let offset = addr.page_offset() as usize;
-        Ok(self
-            .frames
-            .get(&idx)
-            .map(|f| f[offset])
-            .unwrap_or(0))
+        Ok(self.frames.get(&idx).map(|f| f[offset]).unwrap_or(0))
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -208,7 +204,12 @@ impl Dram {
     /// # Errors
     ///
     /// Returns [`DramError::OutOfRange`] if the address is outside the window.
-    pub fn write_u8(&mut self, addr: PhysAddr, value: u8, owner: OwnerTag) -> Result<(), DramError> {
+    pub fn write_u8(
+        &mut self,
+        addr: PhysAddr,
+        value: u8,
+        owner: OwnerTag,
+    ) -> Result<(), DramError> {
         self.check_range(addr, 1)?;
         let idx = self.frame_index(addr);
         let offset = addr.page_offset() as usize;
@@ -223,7 +224,12 @@ impl Dram {
     /// # Errors
     ///
     /// Returns [`DramError::OutOfRange`] if any byte falls outside the window.
-    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8], owner: OwnerTag) -> Result<(), DramError> {
+    pub fn write_bytes(
+        &mut self,
+        addr: PhysAddr,
+        data: &[u8],
+        owner: OwnerTag,
+    ) -> Result<(), DramError> {
         self.check_range(addr, data.len() as u64)?;
         for (i, byte) in data.iter().enumerate() {
             let a = addr + i as u64;
@@ -242,7 +248,12 @@ impl Dram {
     ///
     /// Returns [`DramError::Misaligned`] or [`DramError::OutOfRange`] under
     /// the same conditions as [`Dram::read_u32`].
-    pub fn write_u32(&mut self, addr: PhysAddr, value: u32, owner: OwnerTag) -> Result<(), DramError> {
+    pub fn write_u32(
+        &mut self,
+        addr: PhysAddr,
+        value: u32,
+        owner: OwnerTag,
+    ) -> Result<(), DramError> {
         self.check_aligned(addr, 4)?;
         self.write_bytes(addr, &value.to_le_bytes(), owner)
     }
@@ -253,7 +264,12 @@ impl Dram {
     ///
     /// Returns [`DramError::Misaligned`] or [`DramError::OutOfRange`] under
     /// the same conditions as [`Dram::read_u64`].
-    pub fn write_u64(&mut self, addr: PhysAddr, value: u64, owner: OwnerTag) -> Result<(), DramError> {
+    pub fn write_u64(
+        &mut self,
+        addr: PhysAddr,
+        value: u64,
+        owner: OwnerTag,
+    ) -> Result<(), DramError> {
         self.check_aligned(addr, 8)?;
         self.write_bytes(addr, &value.to_le_bytes(), owner)
     }
@@ -263,7 +279,13 @@ impl Dram {
     /// # Errors
     ///
     /// Returns [`DramError::OutOfRange`] if the range leaves the window.
-    pub fn fill(&mut self, addr: PhysAddr, len: u64, byte: u8, owner: OwnerTag) -> Result<(), DramError> {
+    pub fn fill(
+        &mut self,
+        addr: PhysAddr,
+        len: u64,
+        byte: u8,
+        owner: OwnerTag,
+    ) -> Result<(), DramError> {
         self.check_range(addr, len)?;
         for i in 0..len {
             let a = addr + i;
@@ -444,7 +466,10 @@ mod tests {
     fn out_of_range_access_is_rejected() {
         let mut d = dram();
         let below = PhysAddr::new(0x1000);
-        assert!(matches!(d.read_u8(below), Err(DramError::OutOfRange { .. })));
+        assert!(matches!(
+            d.read_u8(below),
+            Err(DramError::OutOfRange { .. })
+        ));
         let end = d.config().end();
         assert!(matches!(
             d.write_u32(end, 1, OwnerTag::new(1)),

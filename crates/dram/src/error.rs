@@ -36,13 +36,19 @@ impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DramError::OutOfRange { addr, len } => {
-                write!(f, "access at {addr} of {len} bytes is outside the DRAM window")
+                write!(
+                    f,
+                    "access at {addr} of {len} bytes is outside the DRAM window"
+                )
             }
             DramError::Misaligned { addr, required } => {
                 write!(f, "access at {addr} is not {required}-byte aligned")
             }
             DramError::LengthOverflow { addr, len } => {
-                write!(f, "access at {addr} of {len} bytes overflows the address space")
+                write!(
+                    f,
+                    "access at {addr} of {len} bytes overflows the address space"
+                )
             }
         }
     }

@@ -60,8 +60,10 @@ impl Default for SanitizeCost {
 /// The sanitization policy a kernel applies when a process terminates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum SanitizePolicy {
     /// No sanitization (PetaLinux's vulnerable default).
+    #[default]
     None,
     /// Zero every freed frame synchronously with CPU stores.
     ZeroOnFree,
@@ -211,12 +213,6 @@ impl SanitizePolicy {
     }
 }
 
-impl Default for SanitizePolicy {
-    fn default() -> Self {
-        SanitizePolicy::None
-    }
-}
-
 impl fmt::Display for SanitizePolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -341,7 +337,8 @@ mod tests {
             .map(|i| (base + i * PAGE_SIZE).frame_number())
             .collect();
         for f in &frames {
-            dram.fill(f.base_address(), PAGE_SIZE, 0xFF, victim).unwrap();
+            dram.fill(f.base_address(), PAGE_SIZE, 0xFF, victim)
+                .unwrap();
         }
         (dram, victim, frames)
     }
@@ -398,11 +395,19 @@ mod tests {
     #[test]
     fn rowclone_is_cheaper_per_byte_than_zero_on_free() {
         let (mut dram_a, victim, frames) = setup();
-        let report_zero =
-            SanitizePolicy::ZeroOnFree.apply(&mut dram_a, victim, &frames, &SanitizeCost::default());
+        let report_zero = SanitizePolicy::ZeroOnFree.apply(
+            &mut dram_a,
+            victim,
+            &frames,
+            &SanitizeCost::default(),
+        );
         let (mut dram_b, victim_b, frames_b) = setup();
-        let report_rc =
-            SanitizePolicy::RowClone.apply(&mut dram_b, victim_b, &frames_b, &SanitizeCost::default());
+        let report_rc = SanitizePolicy::RowClone.apply(
+            &mut dram_b,
+            victim_b,
+            &frames_b,
+            &SanitizeCost::default(),
+        );
         let zero_per_byte = report_zero.cost_cycles / report_zero.bytes_scrubbed as f64;
         let rc_per_byte = report_rc.cost_cycles / report_rc.bytes_scrubbed as f64;
         assert!(

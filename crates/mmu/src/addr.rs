@@ -20,7 +20,9 @@ use zynq_dram::PAGE_SIZE;
 /// assert_eq!(format!("{va}"), "aaaaee775000");
 /// assert_eq!(va.page_offset(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct VirtAddr(u64);
 
 impl VirtAddr {
@@ -61,7 +63,7 @@ impl VirtAddr {
 
     /// Returns `true` if the address is page-aligned.
     pub const fn is_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Byte distance from `other` to `self`.
@@ -128,7 +130,9 @@ impl Sub<u64> for VirtAddr {
 }
 
 /// A virtual page number (virtual address divided by the page size).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PageNumber(u64);
 
 impl PageNumber {

@@ -45,7 +45,9 @@ impl fmt::Display for MmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MmuError::OutOfFrames => write!(f, "no free physical frames remain"),
-            MmuError::AlreadyMapped { page } => write!(f, "virtual page {page:x} is already mapped"),
+            MmuError::AlreadyMapped { page } => {
+                write!(f, "virtual page {page:x} is already mapped")
+            }
             MmuError::NotMapped { page } => write!(f, "virtual page {page:x} is not mapped"),
             MmuError::Unaligned { addr } => write!(f, "address {addr:x} is not page aligned"),
             MmuError::RegionOverlap { start, len } => {

@@ -17,10 +17,12 @@ use crate::error::MmuError;
 /// Policy controlling the order in which physical frames are handed out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum AllocationOrder {
     /// Fresh frames are allocated sequentially and freed frames are reused
     /// most-recently-freed first (deterministic; PetaLinux-like, vulnerable
     /// to offline profiling).
+    #[default]
     Sequential,
     /// Fresh frames sequential, freed frames reused oldest first.
     FifoReuse,
@@ -30,12 +32,6 @@ pub enum AllocationOrder {
         /// Seed of the deterministic shuffle.
         seed: u64,
     },
-}
-
-impl Default for AllocationOrder {
-    fn default() -> Self {
-        AllocationOrder::Sequential
-    }
 }
 
 impl std::fmt::Display for AllocationOrder {

@@ -14,20 +14,16 @@ use crate::addr::VirtAddr;
 /// Whether and how virtual base addresses are randomized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum AslrMode {
     /// No randomization (PetaLinux default; every run uses identical bases).
+    #[default]
     Disabled,
     /// Randomize heap/stack/mmap bases with a deterministic per-boot seed.
     Virtual {
         /// Seed of the per-boot randomization.
         seed: u64,
     },
-}
-
-impl Default for AslrMode {
-    fn default() -> Self {
-        AslrMode::Disabled
-    }
 }
 
 impl std::fmt::Display for AslrMode {

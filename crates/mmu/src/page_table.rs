@@ -236,23 +236,18 @@ impl PageTable {
 
     /// Collects every `(page, frame)` mapping, sorted by page number.
     pub fn mappings(&self) -> Vec<(PageNumber, FrameNumber)> {
-        fn walk(
-            table: &Table,
-            level: usize,
-            prefix: u64,
-            out: &mut Vec<(PageNumber, FrameNumber)>,
-        ) {
+        fn walk(table: &Table, prefix: u64, out: &mut Vec<(PageNumber, FrameNumber)>) {
             for (idx, slot) in table.entries.iter().enumerate() {
                 let Some(node) = slot else { continue };
                 let next_prefix = (prefix << 9) | idx as u64;
                 match node {
-                    Node::Table(t) => walk(t, level + 1, next_prefix, out),
+                    Node::Table(t) => walk(t, next_prefix, out),
                     Node::Leaf(leaf) => out.push((PageNumber::new(next_prefix), leaf.frame)),
                 }
             }
         }
         let mut out = Vec::with_capacity(self.mapped);
-        walk(&self.root, 0, 0, &mut out);
+        walk(&self.root, 0, &mut out);
         out.sort_by_key(|(page, _)| *page);
         out
     }
@@ -321,7 +316,9 @@ mod tests {
     fn translation_of_unmapped_address_is_none() {
         let pt = PageTable::new();
         assert!(pt.translate(VirtAddr::new(0xdead_beef)).is_none());
-        assert!(pt.permissions(VirtAddr::new(0x1000).page_number()).is_none());
+        assert!(pt
+            .permissions(VirtAddr::new(0x1000).page_number())
+            .is_none());
     }
 
     #[test]

@@ -338,9 +338,7 @@ mod tests {
         let va = space.layout().heap_base() + PAGE_SIZE + 0x123;
         let pa = space.translate(va).unwrap();
         assert_eq!(pa.page_offset(), 0x123);
-        assert!(space
-            .owned_frames()
-            .contains(&pa.frame_number()));
+        assert!(space.owned_frames().contains(&pa.frame_number()));
         assert!(space.translate(va + 4 * PAGE_SIZE).is_none());
     }
 
@@ -354,10 +352,7 @@ mod tests {
         assert!(entries[1].is_present());
         assert!(!entries[2].is_present());
         assert!(!entries[3].is_present());
-        assert_eq!(
-            entries[0].frame_number().unwrap(),
-            space.owned_frames()[0]
-        );
+        assert_eq!(entries[0].frame_number().unwrap(), space.owned_frames()[0]);
     }
 
     #[test]

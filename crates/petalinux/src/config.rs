@@ -12,9 +12,11 @@ use zynq_mmu::{AllocationOrder, AslrMode};
 /// process's `maps`/`pagemap`, and read physical memory with `devmem`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum IsolationPolicy {
     /// The vulnerable PetaLinux default: any user may inspect any process and
     /// read physical memory.
+    #[default]
     Permissive,
     /// A hardened configuration: proc files are only readable by the owning
     /// user (or root) and `devmem` is root-only.
@@ -37,12 +39,6 @@ impl IsolationPolicy {
             IsolationPolicy::Permissive => true,
             IsolationPolicy::Confined => accessor.is_root(),
         }
-    }
-}
-
-impl Default for IsolationPolicy {
-    fn default() -> Self {
-        IsolationPolicy::Permissive
     }
 }
 

@@ -109,8 +109,11 @@ impl Kernel {
             .partition(|d| d.due_tick <= clock);
         self.deferred = pending;
         for scrub in due {
-            let report =
-                sanitize::scrub_deferred(&mut self.dram, &scrub.frames, &self.config.sanitize_cost());
+            let report = sanitize::scrub_deferred(
+                &mut self.dram,
+                &scrub.frames,
+                &self.config.sanitize_cost(),
+            );
             self.scrub_reports.push(report);
         }
     }
@@ -226,7 +229,9 @@ impl Kernel {
         if !process.is_running() {
             return Err(KernelError::ProcessTerminated { pid });
         }
-        process.space.map_region(start, len, perms, kind, allocator)?;
+        process
+            .space
+            .map_region(start, len, perms, kind, allocator)?;
         Ok(())
     }
 
@@ -469,7 +474,12 @@ mod tests {
         let heap = k.process(pid).unwrap().heap_base();
         k.write_process_memory(pid, heap, b"resnet50_pt").unwrap();
         // Remember the physical location before termination.
-        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+        let pa = k
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
 
         let report = k.terminate(pid).unwrap();
         assert_eq!(report.bytes_scrubbed, 0);
@@ -493,7 +503,12 @@ mod tests {
         k.grow_heap(pid, 4096).unwrap();
         let heap = k.process(pid).unwrap().heap_base();
         k.write_process_memory(pid, heap, b"secret").unwrap();
-        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+        let pa = k
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
 
         let report = k.terminate(pid).unwrap();
         assert!(report.bytes_scrubbed >= 4096);
@@ -513,7 +528,12 @@ mod tests {
         k.grow_heap(pid, 4096).unwrap();
         let heap = k.process(pid).unwrap().heap_base();
         k.write_process_memory(pid, heap, b"secret").unwrap();
-        let pa = k.process(pid).unwrap().address_space().translate(heap).unwrap();
+        let pa = k
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
         k.terminate(pid).unwrap();
         assert_eq!(k.pending_scrubs(), 1);
 
@@ -536,7 +556,10 @@ mod tests {
         let mut k = kernel();
         k.spawn(UserId::new(0), &["sh"]).unwrap();
         let victim = k
-            .spawn(UserId::new(0), &["./resnet50_pt", "model.xmodel", "001.jpg"])
+            .spawn(
+                UserId::new(0),
+                &["./resnet50_pt", "model.xmodel", "001.jpg"],
+            )
             .unwrap();
         assert_eq!(k.find_running_pid("resnet50"), Some(victim));
         assert_eq!(k.find_running_pid("nonexistent"), None);

@@ -124,7 +124,7 @@ impl Process {
         self.user
     }
 
-    /// The command line, argv[0] first.
+    /// The command line, `argv[0]` first.
     pub fn cmdline(&self) -> &[String] {
         &self.cmdline
     }

@@ -99,7 +99,11 @@ impl Shell {
         page_count: usize,
     ) -> Result<Vec<u8>, KernelError> {
         self.check_proc_access(kernel, pid)?;
-        Ok(procfs::pagemap_bytes(kernel.process(pid)?, start, page_count))
+        Ok(procfs::pagemap_bytes(
+            kernel.process(pid)?,
+            start,
+            page_count,
+        ))
     }
 
     fn check_devmem(&self, kernel: &Kernel) -> Result<(), KernelError> {
@@ -149,8 +153,7 @@ mod tests {
     use crate::config::{BoardConfig, IsolationPolicy};
 
     fn setup(isolation: IsolationPolicy) -> (Kernel, Pid) {
-        let mut kernel =
-            Kernel::boot(BoardConfig::tiny_for_tests().with_isolation(isolation));
+        let mut kernel = Kernel::boot(BoardConfig::tiny_for_tests().with_isolation(isolation));
         let pid = kernel
             .spawn(UserId::new(0), &["./resnet50_pt", "model.xmodel"])
             .unwrap();

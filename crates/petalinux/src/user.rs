@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(victim.is_root());
 /// assert_eq!(attacker.to_string(), "uid:1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct UserId(u32);
 
 impl UserId {

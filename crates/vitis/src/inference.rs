@@ -33,9 +33,9 @@ pub fn run_inference(model: ModelKind, input: &Image) -> Vec<f32> {
     let conv_needed = CONV_FILTERS * KERNEL * KERNEL;
     let conv_w = &w[..conv_needed.min(w.len())];
 
-    let mut feature_maps = vec![0f32; CONV_FILTERS];
+    let mut feature_maps = [0f32; CONV_FILTERS];
     let out_dim = WORKING_DIM - KERNEL + 1;
-    for f in 0..CONV_FILTERS {
+    for (f, map) in feature_maps.iter_mut().enumerate() {
         let mut accum = 0f32;
         for y in 0..out_dim {
             for x in 0..out_dim {
@@ -54,7 +54,7 @@ pub fn run_inference(model: ModelKind, input: &Image) -> Vec<f32> {
                 accum += v.max(0.0);
             }
         }
-        feature_maps[f] = accum / (out_dim * out_dim) as f32;
+        *map = accum / (out_dim * out_dim) as f32;
     }
 
     let classes = model.output_classes();

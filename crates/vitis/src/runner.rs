@@ -12,9 +12,9 @@
 use std::error::Error;
 use std::fmt;
 
+use petalinux_sim::{Kernel, KernelError, Pid, UserId};
 use serde::{Deserialize, Serialize};
 use zynq_dram::PAGE_SIZE;
-use petalinux_sim::{Kernel, KernelError, Pid, UserId};
 
 use crate::image::Image;
 use crate::inference;
@@ -297,7 +297,11 @@ impl DpuRunner {
         let xmodel_path = self.model.xmodel_path();
         let pid = kernel.spawn(
             user,
-            &[binary.as_str(), xmodel_path.as_str(), self.image_argument.as_str()],
+            &[
+                binary.as_str(),
+                xmodel_path.as_str(),
+                self.image_argument.as_str(),
+            ],
         )?;
 
         let (bytes, layout) = heap_image(self.model, &self.input);
@@ -394,10 +398,7 @@ mod tests {
     #[test]
     fn image_offset_does_not_depend_on_image_content() {
         let (_, a) = heap_image(ModelKind::Resnet50Pt, &Image::corrupted(224, 224));
-        let (_, b) = heap_image(
-            ModelKind::Resnet50Pt,
-            &Image::profiling_sentinel(224, 224),
-        );
+        let (_, b) = heap_image(ModelKind::Resnet50Pt, &Image::profiling_sentinel(224, 224));
         let (_, c) = heap_image(ModelKind::Resnet50Pt, &Image::sample_photo(224, 224));
         assert_eq!(a.image_offset, b.image_offset);
         assert_eq!(a.image_offset, c.image_offset);
@@ -424,8 +425,12 @@ mod tests {
         // The heap actually contains the corrupted-image marker.
         let heap_base = k.process(run.pid()).unwrap().heap_base();
         let mut marker = [0u8; 8];
-        k.read_process_memory(run.pid(), heap_base + run.layout().image_offset, &mut marker)
-            .unwrap();
+        k.read_process_memory(
+            run.pid(),
+            heap_base + run.layout().image_offset,
+            &mut marker,
+        )
+        .unwrap();
         assert_eq!(marker, [0xFF; 8]);
 
         let completed = run.terminate(&mut k).unwrap();

@@ -77,7 +77,10 @@ mod tests {
         let squeeze = quantized_weights(ModelKind::SqueezeNet);
         assert_ne!(resnet.len(), squeeze.len());
         assert_ne!(&resnet[..64], &squeeze[..64]);
-        assert_ne!(seed_for(ModelKind::Resnet50Pt), seed_for(ModelKind::SqueezeNet));
+        assert_ne!(
+            seed_for(ModelKind::Resnet50Pt),
+            seed_for(ModelKind::SqueezeNet)
+        );
     }
 
     #[test]

@@ -201,8 +201,7 @@ impl XModel {
         }
         let name_len = cursor.u16()? as usize;
         let name = cursor.str(name_len)?;
-        let kind = ModelKind::from_name(&name)
-            .ok_or(ParseXmodelError::UnknownModel(name))?;
+        let kind = ModelKind::from_name(&name).ok_or(ParseXmodelError::UnknownModel(name))?;
 
         let string_count = cursor.u32()? as usize;
         let mut strings = Vec::with_capacity(string_count.min(1024));
@@ -361,7 +360,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ParseXmodelError::Truncated.to_string().contains("truncated"));
+        assert!(ParseXmodelError::Truncated
+            .to_string()
+            .contains("truncated"));
         assert!(ParseXmodelError::BadMagic.to_string().contains("magic"));
         assert!(ParseXmodelError::UnsupportedVersion(2)
             .to_string()
@@ -369,7 +370,9 @@ mod tests {
         assert!(ParseXmodelError::UnknownModel("x".into())
             .to_string()
             .contains("unknown model"));
-        assert!(ParseXmodelError::Malformed("f").to_string().contains("malformed"));
+        assert!(ParseXmodelError::Malformed("f")
+            .to_string()
+            .contains("malformed"));
     }
 
     proptest! {

@@ -106,11 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run.offset, run.len
         );
         let hexdump = dump.to_hexdump();
-        for row in hexdump
-            .rows()
-            .skip((run.offset as usize) / 16)
-            .take(3)
-        {
+        for row in hexdump.rows().skip((run.offset as usize) / 16).take(3) {
             println!("{}", row.render());
         }
     }
@@ -127,8 +123,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "image recovered  : {:.1}% of pixels",
         outcome.image_recovery_rate(&Image::corrupted(224, 224)) * 100.0
     );
-    println!("step timings     : poll {:?}, translate {:?}, scrape {:?}, analyze {:?}",
-        outcome.timings.poll, outcome.timings.translate, outcome.timings.scrape, outcome.timings.analyze);
+    println!(
+        "step timings     : poll {:?}, translate {:?}, scrape {:?}, analyze {:?}",
+        outcome.timings.poll,
+        outcome.timings.translate,
+        outcome.timings.scrape,
+        outcome.timings.analyze
+    );
 
     // ---- Defender's view: what a board-side monitor would have seen.
     println!("\n== defender view: debugger audit log ==");

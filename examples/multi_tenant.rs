@@ -12,7 +12,9 @@ use fpga_msa::vitis::ModelKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let board = BoardConfig::zcu104();
-    println!("== multi-tenant residue and collateral (victim: squeezenet, active: mobilenet_v2) ==\n");
+    println!(
+        "== multi-tenant residue and collateral (victim: squeezenet, active: mobilenet_v2) ==\n"
+    );
 
     let rows = evaluate_multi_tenant(board, ModelKind::SqueezeNet, ModelKind::MobileNetV2)?;
 

@@ -36,10 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.pixel_recovery_rate() * 100.0
     );
     println!("bytes scraped         : {}", outcome.bytes_scraped());
-    println!(
-        "residue frames left   : {}",
-        outcome.residue_frames_after()
-    );
+    println!("residue frames left   : {}", outcome.residue_frames_after());
     println!(
         "attack wall-clock     : {:?}",
         outcome.attack().timings.total()

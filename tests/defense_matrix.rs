@@ -1,13 +1,13 @@
 //! Integration tests: the defense sweeps keep their expected shape.
 
 use fpga_msa::dram::SanitizePolicy;
+use fpga_msa::mmu::{AllocationOrder, AslrMode};
+use fpga_msa::msa::attack::ScrapeMode;
 use fpga_msa::msa::defense::{
     evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
     evaluate_sanitize_policies,
 };
 use fpga_msa::msa::scenario::AttackScenario;
-use fpga_msa::mmu::{AllocationOrder, AslrMode};
-use fpga_msa::msa::attack::ScrapeMode;
 use fpga_msa::petalinux::{BoardConfig, IsolationPolicy};
 use fpga_msa::vitis::ModelKind;
 
@@ -99,7 +99,8 @@ fn layout_randomization_defeats_contiguous_scraping_only() {
 
 #[test]
 fn multi_tenant_sweep_separates_precise_from_bulk_sanitizers() {
-    let rows = evaluate_multi_tenant(board(), ModelKind::SqueezeNet, ModelKind::MobileNetV2).unwrap();
+    let rows =
+        evaluate_multi_tenant(board(), ModelKind::SqueezeNet, ModelKind::MobileNetV2).unwrap();
     let get = |p: SanitizePolicy| rows.iter().find(|r| r.policy == p).unwrap();
 
     assert!(get(SanitizePolicy::None).victim_model_identified);

@@ -26,7 +26,9 @@ fn detector_flags_the_attack_and_ignores_the_victim_itself() {
     let mut attacker = DebugSession::connect(UserId::new(1));
     let observation = pipeline.poll_and_observe(&mut attacker, &kernel).unwrap();
     victim.terminate(&mut kernel).unwrap();
-    pipeline.execute(&mut attacker, &kernel, &observation).unwrap();
+    pipeline
+        .execute(&mut attacker, &kernel, &observation)
+        .unwrap();
 
     let detector = ScrapingDetector::new(DetectorConfig::default());
     let attacker_finding = detector

@@ -1,11 +1,11 @@
 //! Integration tests: the full attack across models, inputs and boards.
 
+use fpga_msa::debugger::DebugSession;
 use fpga_msa::msa::attack::{AttackConfig, AttackPipeline, ScrapeMode};
 use fpga_msa::msa::profile::Profiler;
 use fpga_msa::msa::scenario::AttackScenario;
 use fpga_msa::petalinux::{BoardConfig, Kernel, UserId};
 use fpga_msa::vitis::{DpuRunner, Image, ModelKind};
-use fpga_msa::debugger::DebugSession;
 
 #[test]
 fn paper_scenario_recovers_model_and_corrupted_image_on_zcu104() {

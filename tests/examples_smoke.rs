@@ -1,0 +1,58 @@
+//! Guards the `examples/` directory against rot: asserts every example in
+//! the manifest compiles, and that the set of example files on disk matches
+//! what this test expects (so adding an example without coverage fails too).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::Command;
+
+/// Every example shipped with the facade crate. Update this list (and the
+/// README) when adding an example.
+const EXPECTED_EXAMPLES: &[&str] = &[
+    "defense_evaluation",
+    "full_attack",
+    "model_fingerprinting",
+    "multi_tenant",
+    "quickstart",
+];
+
+#[test]
+fn examples_directory_matches_expected_set() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let examples_dir = Path::new(manifest_dir).join("examples");
+    let on_disk: BTreeSet<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            if path.extension().is_some_and(|ext| ext == "rs") {
+                Some(path.file_stem().unwrap().to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    let expected: BTreeSet<String> = EXPECTED_EXAMPLES.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        on_disk, expected,
+        "examples/*.rs drifted from EXPECTED_EXAMPLES; update the smoke test and README"
+    );
+}
+
+#[test]
+fn all_examples_build() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    // `cargo test` has already released the build lock by the time tests
+    // run, so a nested build of the same workspace is safe (and mostly a
+    // cache hit after `cargo test` itself built the examples).
+    let output = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("cargo is runnable from a test");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -5,13 +5,13 @@
 //! replayed against the victim.  These tests verify the transfer property and
 //! its limits.
 
+use fpga_msa::debugger::DebugSession;
 use fpga_msa::msa::attack::{AttackConfig, AttackPipeline};
 use fpga_msa::msa::profile::{ProfileDatabase, Profiler};
 use fpga_msa::msa::scenario::AttackScenario;
 use fpga_msa::petalinux::{BoardConfig, Kernel, UserId};
 use fpga_msa::vitis::runner::heap_image;
 use fpga_msa::vitis::{DpuRunner, Image, ModelKind};
-use fpga_msa::debugger::DebugSession;
 
 #[test]
 fn profiles_match_the_runtime_layout_for_every_model() {
@@ -57,7 +57,9 @@ fn profile_learned_on_a_separate_board_instance_transfers_to_the_victim() {
     let mut debugger = DebugSession::connect(UserId::new(1));
     let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
     victim.terminate(&mut kernel).unwrap();
-    let outcome = pipeline.execute(&mut debugger, &kernel, &observation).unwrap();
+    let outcome = pipeline
+        .execute(&mut debugger, &kernel, &observation)
+        .unwrap();
 
     assert_eq!(outcome.identified_model(), Some(ModelKind::Resnet50Pt));
     assert_eq!(outcome.image_recovery_rate(&input), 1.0);

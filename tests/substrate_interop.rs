@@ -38,7 +38,9 @@ fn procfs_views_agree_with_debugger_views() {
         let pa = entry.frame_number().unwrap().base_address();
         let phys = debugger.read_phys_range(&kernel, pa, 64).unwrap();
         let mut virt = vec![0u8; 64];
-        kernel.read_process_memory(run.pid(), va, &mut virt).unwrap();
+        kernel
+            .read_process_memory(run.pid(), va, &mut virt)
+            .unwrap();
         assert_eq!(phys, virt, "mismatch at heap page {i}");
     }
 }
@@ -103,7 +105,11 @@ fn sanitizing_boards_free_frames_for_reuse_without_leaking_data() {
     let heap_base = kernel.process(second.pid()).unwrap().heap_base();
     let mut probe = vec![0u8; 4096];
     kernel
-        .read_process_memory(second.pid(), heap_base + second.layout().image_offset, &mut probe)
+        .read_process_memory(
+            second.pid(),
+            heap_base + second.layout().image_offset,
+            &mut probe,
+        )
         .unwrap();
     assert!(
         !probe.windows(16).any(|w| w.iter().all(|&b| b == 0xFF)),

@@ -1,0 +1,264 @@
+//! Minimal offline stand-in for [criterion.rs](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! subset of the criterion API the workspace's benches use — benchmark
+//! groups, `Bencher::iter`, throughput annotation and the `criterion_group!`
+//! / `criterion_main!` macros — over plain wall-clock timing. It calibrates
+//! an iteration count during warm-up, collects `sample_size` samples, and
+//! prints min/mean/max per-iteration time (plus throughput when set).
+//!
+//! It is intentionally *not* a statistics engine: no outlier analysis, no
+//! comparison against saved baselines. Swap the root manifest's
+//! `[workspace.dependencies] criterion` entry for the registry version to
+//! get the real harness; the bench sources need no changes.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like the real crate.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in MiB/s).
+    Bytes(u64),
+    /// Bytes processed per iteration (reported in MB/s).
+    BytesDecimal(u64),
+    /// Elements processed per iteration (reported in Kelem/s).
+    Elements(u64),
+}
+
+/// Top-level harness state. One per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, mirroring the real API.
+    /// Cargo passes `--bench` to bench binaries; there is nothing to parse.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+
+    /// Prints the closing summary. A no-op here; kept for API parity.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target total measurement time across all samples.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the warm-up / calibration time.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets how many timing samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark: calibrates during warm-up, then times
+    /// `sample_size` samples and prints a one-line report.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up doubles the iteration count until one call to the routine
+        // is long enough to time reliably (or the warm-up budget runs out).
+        let warm_start = Instant::now();
+        let mut iters: u64 = 1;
+        loop {
+            bencher.iters = iters;
+            f(&mut bencher);
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+            if bencher.elapsed < Duration::from_millis(1) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+
+        // Size each sample so the whole measurement roughly fits the budget.
+        let per_iter_ns = (bencher.elapsed.as_nanos() / u128::from(bencher.iters)).max(1);
+        let sample_budget_ns = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let sample_iters = (sample_budget_ns / per_iter_ns).clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = sample_iters;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / sample_iters as f64);
+        }
+
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().copied().fold(0.0_f64, f64::max);
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        let mut line = format!(
+            "{}/{name}  time: [{} {} {}]",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some(throughput) = self.throughput {
+            line.push_str(&format!("  thrpt: {}", fmt_throughput(throughput, mean)));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group. A no-op here; kept for API parity.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`]; times
+/// the routine over `iters` iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_throughput(throughput: Throughput, mean_ns_per_iter: f64) -> String {
+    let per_sec = |amount: u64| amount as f64 / (mean_ns_per_iter / 1_000_000_000.0);
+    match throughput {
+        Throughput::Bytes(bytes) => format!("{:.2} MiB/s", per_sec(bytes) / (1024.0 * 1024.0)),
+        Throughput::BytesDecimal(bytes) => format!("{:.2} MB/s", per_sec(bytes) / 1.0e6),
+        Throughput::Elements(elems) => format!("{:.2} Kelem/s", per_sec(elems) / 1.0e3),
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's simple form:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine_and_reports() {
+        let mut criterion = Criterion::default().configure_from_args();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3)
+            .throughput(Throughput::Bytes(64));
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine should have been exercised");
+    }
+
+    #[test]
+    fn formatting_covers_magnitudes() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("us"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(10_000_000_000.0).ends_with(" s"));
+    }
+}

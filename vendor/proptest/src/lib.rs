@@ -1,0 +1,311 @@
+//! Minimal offline stand-in for [proptest](https://proptest-rs.github.io/proptest/).
+//!
+//! The build container has no crates.io access, so this crate implements the
+//! subset of the proptest API the workspace's unit tests use: the
+//! `proptest! { #[test] fn name(arg in strategy, ...) { .. } }` macro,
+//! integer-range and `any::<T>()` strategies, and
+//! `proptest::collection::{vec, btree_set}`.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! seeds: each property runs [`CASES`] cases sampled from a fixed xorshift
+//! stream seeded by the test's name, so runs are fully deterministic (a
+//! failure always reproduces). Swap the root manifest's
+//! `[workspace.dependencies] proptest` entry for the registry version to get
+//! real shrinking; the test sources need no changes.
+
+/// Number of sampled cases per property.
+pub const CASES: u32 = 64;
+
+/// Deterministic xorshift64* generator used to sample strategy values.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds the stream from an arbitrary label (the property's name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, never zero.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: hash | 1 }
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform sample in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The stand-in samples directly instead of building
+/// shrinkable value trees.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut Rng) -> $ty {
+                assert!(self.start < self.end, "empty sampling range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32);
+
+/// Strategy for "any value of `T`", mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut Rng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A length range for generated collections.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            SizeRange(range)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            SizeRange(len..len + 1)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.size.0.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `size`.
+    ///
+    /// Like the real proptest, the set may come out smaller than the drawn
+    /// size when the element strategy produces duplicates; the attempt count
+    /// is bounded so narrow element domains cannot hang the test.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> BTreeSet<S::Value> {
+            let target = self.size.0.clone().sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(16) + 64 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything a `proptest!` test body needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Rng, Strategy};
+}
+
+/// Assertion inside a property; the stand-in panics immediately (there is no
+/// shrinking phase to report through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn roundtrips(raw in any::<u64>(), len in 1usize..64) { .. }
+/// }
+/// ```
+///
+/// Each test samples its arguments [`CASES`] times from a stream seeded by
+/// the test name.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::Rng::deterministic(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_label() {
+        let mut a = Rng::deterministic("label");
+        let mut b = Rng::deterministic("label");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Rng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = Rng::deterministic("bounds");
+        for _ in 0..256 {
+            let v = (3u8..7).sample(&mut rng);
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_strategy_respects_length(bytes in crate::collection::vec(any::<u8>(), 2usize..9)) {
+            prop_assert!((2..9).contains(&bytes.len()));
+        }
+
+        #[test]
+        fn btree_set_strategy_yields_unique_ordered(set in crate::collection::btree_set(0u64..1000, 1usize..20)) {
+            prop_assert!(!set.is_empty());
+            prop_assert!(set.len() < 20);
+        }
+
+        #[test]
+        fn bool_any_hits_both_values(flips in crate::collection::vec(any::<bool>(), 64usize..65)) {
+            prop_assert_eq!(flips.len(), 64);
+        }
+    }
+}

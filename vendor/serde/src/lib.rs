@@ -1,0 +1,13 @@
+//! Minimal offline stand-in for [`serde`](https://serde.rs), just enough for
+//! `use serde::{Deserialize, Serialize};` plus the derive attributes to
+//! resolve. See `vendor/serde/README.md` for the rationale and for how to
+//! swap in the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::Serialize`. Deliberately empty: the no-op derive
+/// never implements it, and nothing in the workspace bounds on it.
+pub trait Serialize {}
+
+/// Stand-in for `serde::Deserialize`. Deliberately empty, like [`Serialize`].
+pub trait Deserialize<'de>: Sized {}

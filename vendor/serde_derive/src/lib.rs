@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing: the
+//! annotated types keep compiling, but do not gain trait implementations.
+//! That is sufficient for this workspace, which never serializes through the
+//! traits (the derives document intent and keep the sources compatible with
+//! the real `serde`). See `vendor/serde/README.md` for how to swap in the
+//! real crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
