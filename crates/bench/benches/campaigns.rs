@@ -1,0 +1,60 @@
+//! Campaign-engine benchmarks: what the worker pool buys.
+//!
+//! Measures the same scenario matrix executed serially (1 worker) and on a
+//! multi-worker pool, plus the cost of matrix expansion itself — the
+//! scheduling overhead a campaign adds on top of its cells.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use msa_bench::bench_board;
+use msa_core::campaign::{CampaignSpec, InputKind};
+use msa_core::ScrapeMode;
+use vitis_ai_sim::ModelKind;
+use zynq_dram::SanitizePolicy;
+
+/// A 16-cell matrix: 2 models × 2 inputs × 2 sanitize policies × 2 scrape
+/// modes on the tiny board.
+fn matrix_spec() -> CampaignSpec {
+    CampaignSpec::new("bench", bench_board())
+        .with_models(vec![ModelKind::SqueezeNet, ModelKind::MobileNetV2])
+        .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+        .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::SelectiveScrub])
+        .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+        .with_seed(1391)
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+
+    let spec = matrix_spec();
+    let cells = spec.cell_count() as u64;
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("matrix_16_cells/1_worker", |b| {
+        b.iter(|| black_box(spec.run_with_workers(1).unwrap().completed_count()))
+    });
+    group.bench_function("matrix_16_cells/4_workers", |b| {
+        b.iter(|| black_box(spec.run_with_workers(4).unwrap().completed_count()))
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("expand_1024_cells", |b| {
+        let big = CampaignSpec::new("bench", bench_board())
+            .with_models(ModelKind::all().to_vec())
+            .with_inputs(vec![
+                InputKind::SamplePhoto,
+                InputKind::Corrupted,
+                InputKind::Sentinel,
+            ])
+            .with_sanitize_policies(SanitizePolicy::all_basic().to_vec())
+            .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage]);
+        assert!(big.cell_count() >= 100);
+        b.iter(|| black_box(big.expand().len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

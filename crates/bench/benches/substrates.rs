@@ -38,6 +38,34 @@ fn bench_dram(c: &mut Criterion) {
     group.bench_function("read_u32_devmem_style", |b| {
         b.iter(|| black_box(dram.read_u32(base).unwrap()))
     });
+
+    // Multi-megabyte transfers: the shape of a whole-heap scrape.  These are
+    // the paths that used to pay one HashMap lookup per byte and now run one
+    // lookup + bulk copy per frame.
+    const SCRAPE_LEN: u64 = 8 * 1024 * 1024;
+    let blob = vec![0xC3u8; SCRAPE_LEN as usize];
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(SCRAPE_LEN));
+    group.bench_function("write_8mib", |b| {
+        b.iter(|| {
+            dram.write_bytes(black_box(base), black_box(&blob), owner)
+                .unwrap()
+        })
+    });
+    group.bench_function("scrape_read_8mib", |b| {
+        let mut buf = vec![0u8; SCRAPE_LEN as usize];
+        b.iter(|| dram.read_bytes(black_box(base), &mut buf).unwrap())
+    });
+    group.bench_function("fill_8mib", |b| {
+        b.iter(|| dram.fill(black_box(base), SCRAPE_LEN, 0xFF, owner).unwrap())
+    });
+    group.bench_function("scrub_8mib", |b| {
+        b.iter(|| {
+            // Refill so every iteration scrubs materialized, dirty frames.
+            dram.fill(base, SCRAPE_LEN, 0xFF, owner).unwrap();
+            dram.scrub_range(black_box(base), SCRAPE_LEN).unwrap()
+        })
+    });
     group.bench_function("ddr_decompose_compose", |b| {
         let mapping = DdrMapping::new(cfg);
         b.iter(|| {

@@ -9,19 +9,29 @@
 //!
 //! Flags: `--fig4` … `--fig12`, `--timing` (TAB-A), `--defenses` (TAB-B),
 //! `--fingerprint` (TAB-C), `--aslr` (TAB-D), `--boards` (TAB-E),
-//! `--multitenant` (TAB-F), `--all`.
+//! `--multitenant` (TAB-F), `--campaign` (fleet-scale matrix summary),
+//! `--all`.
+//!
+//! Modifiers: `--tiny` runs the matrix tables on the small test board (the
+//! CI smoke configuration); `--jobs=N` caps the campaign worker pool.
+//!
+//! Every matrix table here is executed by the `msa_core::campaign` worker
+//! pool — the `evaluate_*` sweeps are campaign specs, and `--fingerprint`,
+//! `--boards` and `--campaign` build their specs directly.
 
 use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
+use msa_core::campaign::{CampaignSpec, InputKind};
 use msa_core::defense::{
     evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
     evaluate_sanitize_policies,
 };
 use msa_core::profile::Profiler;
 use msa_core::report::{bytes, percent, TextTable};
-use msa_core::scenario::AttackScenario;
-use petalinux_sim::{BoardConfig, Kernel, Shell};
+use msa_core::ScrapeMode;
+use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, Shell};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
+use zynq_dram::SanitizePolicy;
 
 const KNOWN_FLAGS: &[&str] = &[
     "--all",
@@ -40,54 +50,117 @@ const KNOWN_FLAGS: &[&str] = &[
     "--aslr",
     "--boards",
     "--multitenant",
+    "--campaign",
+    "--tiny",
 ];
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(unknown) = args.iter().find(|a| !KNOWN_FLAGS.contains(&a.as_str())) {
-        eprintln!("error: unknown flag `{unknown}`");
-        eprintln!("usage: experiments [{}]", KNOWN_FLAGS.join(" | "));
-        std::process::exit(2);
+/// Parsed command line: artifact flags plus the board/worker modifiers.
+struct Options {
+    flags: Vec<String>,
+    tiny: bool,
+    jobs: Option<usize>,
+}
+
+impl Options {
+    fn parse(args: Vec<String>) -> Result<Options, String> {
+        let mut flags = Vec::new();
+        let mut tiny = false;
+        let mut jobs = None;
+        for arg in args {
+            if let Some(n) = arg.strip_prefix("--jobs=") {
+                jobs = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("invalid worker count in `{arg}`"))?
+                        .max(1),
+                );
+            } else if arg == "--tiny" {
+                tiny = true;
+            } else if KNOWN_FLAGS.contains(&arg.as_str()) {
+                flags.push(arg);
+            } else {
+                return Err(format!("unknown flag `{arg}`"));
+            }
+        }
+        Ok(Options { flags, tiny, jobs })
     }
-    let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let want = |flag: &str| {
+
+    fn want(&self, flag: &str) -> bool {
         debug_assert!(
             KNOWN_FLAGS.contains(&flag),
             "dispatch flag {flag} missing from KNOWN_FLAGS"
         );
-        all || args.iter().any(|a| a == flag)
+        let all = self.flags.is_empty() || self.flags.iter().any(|a| a == "--all");
+        all || self.flags.iter().any(|a| a == flag)
+    }
+
+    /// The board the matrix tables run on.
+    fn board(&self) -> BoardConfig {
+        if self.tiny {
+            BoardConfig::tiny_for_tests()
+        } else {
+            BoardConfig::zcu104()
+        }
+    }
+
+    fn board_name(&self) -> &'static str {
+        if self.tiny {
+            "tiny"
+        } else {
+            "ZCU104"
+        }
+    }
+
+    /// Applies the `--jobs` cap to a campaign spec.
+    fn capped(&self, spec: CampaignSpec) -> CampaignSpec {
+        match self.jobs {
+            Some(jobs) => spec.with_jobs(jobs),
+            None => spec,
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = match Options::parse(std::env::args().skip(1).collect()) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: experiments [{} | --jobs=N]",
+                KNOWN_FLAGS.join(" | ")
+            );
+            std::process::exit(2);
+        }
     };
 
-    if want("--fig4") {
+    if options.want("--fig4") {
         fig4();
     }
     let figure_flags = [
         "--fig5", "--fig6", "--fig7", "--fig8", "--fig9", "--fig10", "--fig11", "--fig12",
         "--timing",
     ];
-    if figure_flags.iter().any(|f| want(f)) {
-        attack_walkthrough(&want)?;
+    if figure_flags.iter().any(|f| options.want(f)) {
+        attack_walkthrough(&options)?;
     }
-    if want("--defenses") {
-        defenses()?;
+    if options.want("--defenses") {
+        defenses(&options)?;
     }
-    if want("--fingerprint") {
-        fingerprint()?;
+    if options.want("--fingerprint") {
+        fingerprint(&options)?;
     }
-    if want("--aslr") {
-        aslr()?;
+    if options.want("--aslr") {
+        aslr(&options)?;
     }
-    if want("--boards") {
-        boards()?;
+    if options.want("--boards") {
+        boards(&options)?;
     }
-    if want("--multitenant") {
-        multitenant()?;
+    if options.want("--multitenant") {
+        multitenant(&options)?;
+    }
+    if options.want("--campaign") {
+        campaign(&options)?;
     }
     Ok(())
-}
-
-fn board() -> BoardConfig {
-    BoardConfig::zcu104()
 }
 
 fn fig4() {
@@ -108,8 +181,9 @@ fn fig4() {
     );
 }
 
-fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::error::Error>> {
-    let board = board();
+fn attack_walkthrough(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let want = |flag: &str| options.want(flag);
+    let board = options.board();
     let profiles = Profiler::new(board).profile_all();
     let pipeline = AttackPipeline::new(AttackConfig::default()).with_profiles(profiles);
 
@@ -244,7 +318,7 @@ fn attack_walkthrough(want: &dyn Fn(&str) -> bool) -> Result<(), Box<dyn std::er
     Ok(())
 }
 
-fn defenses() -> Result<(), Box<dyn std::error::Error>> {
+fn defenses(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== TAB-B: sanitization policies vs the attack (victim: resnet50_pt) ===");
     let mut table = TextTable::new(vec![
         "policy",
@@ -254,7 +328,7 @@ fn defenses() -> Result<(), Box<dyn std::error::Error>> {
         "scrub cost (cycles)",
         "collateral",
     ]);
-    for row in evaluate_sanitize_policies(board(), ModelKind::Resnet50Pt)? {
+    for row in evaluate_sanitize_policies(options.board(), ModelKind::Resnet50Pt)? {
         table.add_row(vec![
             row.policy.to_string(),
             row.model_identified.to_string(),
@@ -274,7 +348,7 @@ fn defenses() -> Result<(), Box<dyn std::error::Error>> {
         "pixel recovery",
         "blocked at",
     ]);
-    for row in evaluate_isolation(board(), ModelKind::Resnet50Pt)? {
+    for row in evaluate_isolation(options.board(), ModelKind::Resnet50Pt)? {
         table.add_row(vec![
             row.isolation.to_string(),
             row.attack_completed.to_string(),
@@ -287,10 +361,14 @@ fn defenses() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn fingerprint() -> Result<(), Box<dyn std::error::Error>> {
+fn fingerprint(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== TAB-C: model identification accuracy across the zoo ===");
-    let board = board();
-    let profiles = Profiler::new(board).profile_all();
+    let report = options
+        .capped(
+            CampaignSpec::new(options.board_name(), options.board())
+                .with_models(ModelKind::all().to_vec()),
+        )
+        .run()?;
     let mut table = TextTable::new(vec![
         "victim model",
         "identified as",
@@ -298,35 +376,29 @@ fn fingerprint() -> Result<(), Box<dyn std::error::Error>> {
         "confidence",
         "image recovered",
     ]);
-    let mut correct = 0usize;
-    for model in ModelKind::all() {
-        let outcome = AttackScenario::new(board, model)
-            .with_profiles(profiles.clone())
-            .execute()?;
-        if outcome.model_identification_correct() {
-            correct += 1;
-        }
+    for record in report.cells() {
+        let metrics = record.metrics.as_ref().expect("permissive cells complete");
         table.add_row(vec![
-            model.to_string(),
-            outcome
-                .identified_model()
+            record.cell.model.to_string(),
+            metrics
+                .identified_model
                 .map(|m| m.to_string())
                 .unwrap_or_else(|| "<none>".into()),
-            outcome.model_identification_correct().to_string(),
-            percent(outcome.attack().identification_confidence()),
-            percent(outcome.pixel_recovery_rate()),
+            metrics.model_identified.to_string(),
+            percent(metrics.identification_confidence),
+            percent(metrics.pixel_recovery),
         ]);
     }
     println!("{table}");
     println!(
         "identification accuracy: {}/{}\n",
-        correct,
-        ModelKind::all().len()
+        report.identified_count(),
+        report.len()
     );
     Ok(())
 }
 
-fn aslr() -> Result<(), Box<dyn std::error::Error>> {
+fn aslr(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== TAB-D: layout randomization vs the attack ===");
     let mut table = TextTable::new(vec![
         "allocation order",
@@ -335,7 +407,7 @@ fn aslr() -> Result<(), Box<dyn std::error::Error>> {
         "model identified",
         "pixel recovery",
     ]);
-    for row in evaluate_layout_randomization(board(), ModelKind::Resnet50Pt)? {
+    for row in evaluate_layout_randomization(options.board(), ModelKind::Resnet50Pt)? {
         table.add_row(vec![
             row.allocation_order.to_string(),
             row.aslr.to_string(),
@@ -348,8 +420,15 @@ fn aslr() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn boards() -> Result<(), Box<dyn std::error::Error>> {
+fn boards(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== TAB-E: attack success per board preset ===");
+    let report = options
+        .capped(
+            CampaignSpec::new("ZCU104", BoardConfig::zcu104())
+                .with_board("ZCU102", BoardConfig::zcu102())
+                .with_inputs(vec![InputKind::Corrupted]),
+        )
+        .run()?;
     let mut table = TextTable::new(vec![
         "board",
         "dram window",
@@ -357,26 +436,21 @@ fn boards() -> Result<(), Box<dyn std::error::Error>> {
         "pixel recovery",
         "residue frames",
     ]);
-    for (name, config) in [
-        ("ZCU104", BoardConfig::zcu104()),
-        ("ZCU102", BoardConfig::zcu102()),
-    ] {
-        let outcome = AttackScenario::new(config, ModelKind::Resnet50Pt)
-            .with_corrupted_input()
-            .execute()?;
+    for record in report.cells() {
+        let metrics = record.metrics.as_ref().expect("permissive cells complete");
         table.add_row(vec![
-            name.to_string(),
-            bytes(config.dram().capacity()),
-            outcome.model_identification_correct().to_string(),
-            percent(outcome.pixel_recovery_rate()),
-            outcome.residue_frames_after().to_string(),
+            record.cell.board_name.clone(),
+            bytes(record.cell.board.dram().capacity()),
+            metrics.model_identified.to_string(),
+            percent(metrics.pixel_recovery),
+            metrics.residue_frames.to_string(),
         ]);
     }
     println!("{table}");
     Ok(())
 }
 
-fn multitenant() -> Result<(), Box<dyn std::error::Error>> {
+fn multitenant(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== TAB-F: multi-tenant residue and sanitizer collateral ===");
     let mut table = TextTable::new(vec![
         "policy",
@@ -384,7 +458,11 @@ fn multitenant() -> Result<(), Box<dyn std::error::Error>> {
         "active tenant clobbered",
         "active tenant intact",
     ]);
-    for row in evaluate_multi_tenant(board(), ModelKind::SqueezeNet, ModelKind::MobileNetV2)? {
+    for row in evaluate_multi_tenant(
+        options.board(),
+        ModelKind::SqueezeNet,
+        ModelKind::MobileNetV2,
+    )? {
         table.add_row(vec![
             row.policy.to_string(),
             row.victim_model_identified.to_string(),
@@ -393,5 +471,77 @@ fn multitenant() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{table}");
+    Ok(())
+}
+
+/// The fleet-scale demonstration: a 192-cell matrix over models × inputs ×
+/// sanitization × isolation × scrape modes, run on the shared worker pool
+/// and summarized per axis.  Always uses the tiny board so the matrix stays
+/// fast even under `--all`.
+fn campaign(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== CAMPAIGN: fleet-scale scenario matrix (tiny board) ===");
+    let spec = options.capped(
+        CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+            .with_models(ModelKind::all().to_vec())
+            .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+            .with_sanitize_policies(vec![
+                SanitizePolicy::None,
+                SanitizePolicy::SelectiveScrub,
+                SanitizePolicy::Background { delay_ticks: 1000 },
+            ])
+            .with_isolation_policies(vec![IsolationPolicy::Permissive, IsolationPolicy::Confined])
+            .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+            .with_seed(2024),
+    );
+    let report = spec.run()?;
+    let clock = report.wall_clock();
+    println!(
+        "{} cells on {} workers: {} completed, {} blocked, {} identified",
+        report.len(),
+        report.workers(),
+        report.completed_count(),
+        report.blocked_count(),
+        report.identified_count(),
+    );
+    println!(
+        "wall-clock: total {:?}, serial-equivalent {:?}, cell min/mean/max {:?}/{:?}/{:?}\n",
+        clock.total, clock.cells_total, clock.min_cell, clock.mean_cell, clock.max_cell
+    );
+
+    for (title, groups) in [
+        (
+            "per sanitize policy",
+            report.group_by(|r| r.cell.sanitize.to_string()),
+        ),
+        (
+            "per isolation policy",
+            report.group_by(|r| r.cell.isolation.to_string()),
+        ),
+        (
+            "per scrape mode",
+            report.group_by(|r| r.cell.scrape_mode.to_string()),
+        ),
+    ] {
+        println!("--- {title} ---");
+        let mut table = TextTable::new(vec![
+            "group",
+            "cells",
+            "completed",
+            "blocked",
+            "identified",
+            "mean pixel recovery",
+        ]);
+        for (key, stats) in groups {
+            table.add_row(vec![
+                key,
+                stats.cells.to_string(),
+                stats.completed.to_string(),
+                stats.blocked.to_string(),
+                stats.identified.to_string(),
+                percent(stats.mean_pixel_recovery),
+            ]);
+        }
+        println!("{table}");
+    }
     Ok(())
 }

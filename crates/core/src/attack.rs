@@ -12,7 +12,7 @@ use crate::analysis::marker::{marker_runs, CORRUPTED_MARKER};
 use crate::analysis::strings::identify_model;
 use crate::dump::MemoryDump;
 use crate::error::AttackError;
-use crate::metrics::{AttackOutcome, OffsetSource, StepTimings};
+use crate::metrics::{AttackOutcome, OffsetSource, StepTimingsBuilder};
 use crate::profile::ProfileDatabase;
 use crate::scrape::scrape_heap;
 use crate::signature::SignatureDb;
@@ -68,13 +68,12 @@ impl Default for AttackConfig {
     }
 }
 
-/// The state captured while the victim is still running (Steps 1–2): its pid
-/// and its heap translation.
+/// The state captured while the victim is still running (Steps 1–2): its pid,
+/// its heap translation, and the partial timing record of those steps.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Observation {
     translation: HeapTranslation,
-    poll_elapsed: std::time::Duration,
-    translate_elapsed: std::time::Duration,
+    timings: StepTimingsBuilder,
 }
 
 impl Observation {
@@ -86,6 +85,12 @@ impl Observation {
     /// The captured heap translation.
     pub fn translation(&self) -> &HeapTranslation {
         &self.translation
+    }
+
+    /// The partial timing record (poll + translate stamped; scrape and
+    /// analyze are added by [`AttackPipeline::execute`]).
+    pub fn timings(&self) -> StepTimingsBuilder {
+        self.timings
     }
 }
 
@@ -213,12 +218,23 @@ impl AttackPipeline {
         kernel: &Kernel,
         pid: Pid,
     ) -> Result<Observation, AttackError> {
+        self.observe_with_timings(debugger, kernel, pid, StepTimingsBuilder::new())
+    }
+
+    /// Step 2 with an existing partial timing record (carrying the poll
+    /// stamp); stamps the translate step on top.
+    fn observe_with_timings(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &Kernel,
+        pid: Pid,
+        timings: StepTimingsBuilder,
+    ) -> Result<Observation, AttackError> {
         let start = Instant::now();
         let translation = capture_heap_translation(debugger, kernel, pid)?;
         Ok(Observation {
             translation,
-            poll_elapsed: std::time::Duration::ZERO,
-            translate_elapsed: start.elapsed(),
+            timings: timings.with_translate(start.elapsed()),
         })
     }
 
@@ -235,10 +251,8 @@ impl AttackPipeline {
     ) -> Result<Observation, AttackError> {
         let poll_start = Instant::now();
         let pid = self.poll_for_victim(debugger, kernel)?;
-        let poll_elapsed = poll_start.elapsed();
-        let mut observation = self.observe_victim(debugger, kernel, pid)?;
-        observation.poll_elapsed = poll_elapsed;
-        Ok(observation)
+        let timings = StepTimingsBuilder::new().with_poll(poll_start.elapsed());
+        self.observe_with_timings(debugger, kernel, pid, timings)
     }
 
     /// Step 3: scrape the victim's heap from physical memory, requiring that
@@ -330,12 +344,11 @@ impl AttackPipeline {
             image_offset_used: analysis.image_offset_used,
             bytes_scraped: dump.len(),
             dump_coverage: dump.coverage(),
-            timings: StepTimings {
-                poll: observation.poll_elapsed,
-                translate: observation.translate_elapsed,
-                scrape: scrape_elapsed,
-                analyze: analyze_elapsed,
-            },
+            timings: observation
+                .timings
+                .with_scrape(scrape_elapsed)
+                .with_analyze(analyze_elapsed)
+                .build(),
         })
     }
 }

@@ -1,0 +1,809 @@
+//! The campaign engine: declarative, parallel scenario matrices.
+//!
+//! The paper's evaluation (§IV–§V) is a matrix — models × inputs × sanitize
+//! policies × isolation × layout × scrape modes × boards — and this module
+//! turns each such matrix into data instead of hand-rolled loops:
+//!
+//! - [`CampaignSpec`] declares the axes.  Every axis defaults to a single
+//!   neutral value, so a spec only names the dimensions it sweeps.
+//! - [`CampaignSpec::expand`] produces the full cross product as seeded
+//!   [`CampaignCell`]s in a fixed, documented order (independent of how the
+//!   campaign is later scheduled).
+//! - [`CampaignSpec::run`] executes the cells on a scoped worker pool
+//!   (`--jobs`-style concurrency), sharing one pre-built
+//!   [`ProfileDatabase`] per board instead of profiling in every cell, and
+//!   aggregates per-cell [`ScenarioMetrics`] into a [`CampaignReport`].
+//!
+//! Cell results are stored by cell index, so a report is **byte-identical
+//! regardless of worker count**: only the wall-clock fields differ between a
+//! serial and a 16-way run.
+//!
+//! # Example
+//!
+//! ```
+//! use msa_core::campaign::{CampaignSpec, InputKind};
+//! use petalinux_sim::BoardConfig;
+//! use vitis_ai_sim::ModelKind;
+//! use zynq_dram::SanitizePolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+//!     .with_models(vec![ModelKind::SqueezeNet, ModelKind::MobileNetV2])
+//!     .with_inputs(vec![InputKind::Corrupted])
+//!     .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::SelectiveScrub])
+//!     .run()?;
+//! assert_eq!(report.len(), 4);
+//! // Unsanitized cells leak; scrubbed cells do not.
+//! assert_eq!(report.identified_count(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use petalinux_sim::{BoardConfig, IsolationPolicy};
+use serde::{Deserialize, Serialize};
+use vitis_ai_sim::{Image, ModelKind};
+use zynq_dram::SanitizePolicy;
+use zynq_mmu::{AllocationOrder, AslrMode};
+
+use crate::attack::{AttackConfig, ScrapeMode};
+use crate::error::AttackError;
+use crate::metrics::StepTimings;
+use crate::profile::{ProfileDatabase, Profiler};
+use crate::scenario::{AttackScenario, ScenarioMetrics, ScenarioResult, VictimSchedule};
+
+/// Which input image the victim feeds its model — a campaign axis standing in
+/// for "input kind" in the paper's matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum InputKind {
+    /// The sample photograph (the paper's benign input).
+    #[default]
+    SamplePhoto,
+    /// The all-`0xFFFFFF` corrupted image (the paper's marked input).
+    Corrupted,
+    /// The `0x555555` profiling sentinel.
+    Sentinel,
+}
+
+impl InputKind {
+    /// Materializes the input at `model`'s native dimensions.
+    pub fn materialize(self, model: ModelKind) -> Image {
+        let (w, h) = model.input_dims();
+        match self {
+            InputKind::SamplePhoto => Image::sample_photo(w, h),
+            InputKind::Corrupted => Image::corrupted(w, h),
+            InputKind::Sentinel => Image::profiling_sentinel(w, h),
+        }
+    }
+}
+
+impl std::fmt::Display for InputKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputKind::SamplePhoto => write!(f, "sample-photo"),
+            InputKind::Corrupted => write!(f, "corrupted"),
+            InputKind::Sentinel => write!(f, "sentinel"),
+        }
+    }
+}
+
+/// One fully resolved point of the campaign matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Position of the cell in the spec's deterministic expansion order.
+    pub index: usize,
+    /// Position of the cell's board in the spec's board axis (the key the
+    /// engine shares profile databases by — names need not be unique).
+    pub board_index: usize,
+    /// Name of the board axis entry this cell runs on.
+    pub board_name: String,
+    /// The fully resolved board configuration (axis overrides applied).
+    pub board: BoardConfig,
+    /// The victim model.
+    pub model: ModelKind,
+    /// The victim input kind.
+    pub input: InputKind,
+    /// The effective sanitize policy.
+    pub sanitize: SanitizePolicy,
+    /// The effective isolation policy.
+    pub isolation: IsolationPolicy,
+    /// The effective virtual-address randomization mode.
+    pub aslr: AslrMode,
+    /// The effective physical allocation order.
+    pub allocation_order: AllocationOrder,
+    /// The attacker's scraping strategy.
+    pub scrape_mode: ScrapeMode,
+    /// The victim-traffic schedule.
+    pub schedule: VictimSchedule,
+    /// The per-cell seed (spec seed mixed with the cell index).
+    pub seed: u64,
+}
+
+impl CampaignCell {
+    /// A compact human-readable label (used by progress output and tables).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}/{}",
+            self.board_name, self.model, self.input, self.sanitize, self.scrape_mode, self.schedule
+        )
+    }
+
+    /// Builds the [`AttackScenario`] this cell describes, attaching the
+    /// campaign-shared profile database.
+    pub fn scenario(&self, profiles: ProfileDatabase, base: &AttackConfig) -> AttackScenario {
+        AttackScenario::new(self.board, self.model)
+            .with_input(self.input.materialize(self.model))
+            .with_attack_config(AttackConfig {
+                scrape_mode: self.scrape_mode,
+                ..base.clone()
+            })
+            .with_profiles(profiles)
+            .with_schedule(self.schedule)
+            .with_seed(self.seed)
+    }
+}
+
+/// A declarative scenario matrix plus execution knobs.
+///
+/// Axis semantics: `models`, `inputs`, `scrape_modes` and `schedules` always
+/// have at least one value.  The four board-override axes (`sanitize`,
+/// `isolation`, `aslr`, `allocation`) are optional — when unset, each board
+/// keeps its own configured policy, so presets pass through untouched.
+///
+/// Expansion order (slowest-varying first): board → model → input →
+/// sanitize → isolation → aslr → allocation order → scrape mode → schedule.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    boards: Vec<(String, BoardConfig)>,
+    models: Vec<ModelKind>,
+    inputs: Vec<InputKind>,
+    sanitize_policies: Option<Vec<SanitizePolicy>>,
+    isolation_policies: Option<Vec<IsolationPolicy>>,
+    aslr_modes: Option<Vec<AslrMode>>,
+    allocation_orders: Option<Vec<AllocationOrder>>,
+    scrape_modes: Vec<ScrapeMode>,
+    schedules: Vec<VictimSchedule>,
+    attack_config: AttackConfig,
+    seed: u64,
+    jobs: Option<usize>,
+}
+
+impl CampaignSpec {
+    /// Creates a spec over one named board with every axis at its default
+    /// single value (one cell).
+    pub fn new(board_name: impl Into<String>, board: BoardConfig) -> Self {
+        CampaignSpec {
+            boards: vec![(board_name.into(), board)],
+            models: vec![ModelKind::Resnet50Pt],
+            inputs: vec![InputKind::SamplePhoto],
+            sanitize_policies: None,
+            isolation_policies: None,
+            aslr_modes: None,
+            allocation_orders: None,
+            scrape_modes: vec![ScrapeMode::ContiguousRange],
+            schedules: vec![VictimSchedule::Single],
+            attack_config: AttackConfig::default(),
+            seed: 0,
+            jobs: None,
+        }
+    }
+
+    /// Adds another board axis entry.
+    pub fn with_board(mut self, name: impl Into<String>, board: BoardConfig) -> Self {
+        self.boards.push((name.into(), board));
+        self
+    }
+
+    /// Sets the victim-model axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn with_models(mut self, models: Vec<ModelKind>) -> Self {
+        assert!(!models.is_empty(), "model axis must not be empty");
+        self.models = models;
+        self
+    }
+
+    /// Sets the input-kind axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn with_inputs(mut self, inputs: Vec<InputKind>) -> Self {
+        assert!(!inputs.is_empty(), "input axis must not be empty");
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sweeps the sanitize policy over `policies` (overriding each board's
+    /// own policy).
+    pub fn with_sanitize_policies(mut self, policies: Vec<SanitizePolicy>) -> Self {
+        assert!(!policies.is_empty(), "sanitize axis must not be empty");
+        self.sanitize_policies = Some(policies);
+        self
+    }
+
+    /// Sweeps the isolation policy over `policies`.
+    pub fn with_isolation_policies(mut self, policies: Vec<IsolationPolicy>) -> Self {
+        assert!(!policies.is_empty(), "isolation axis must not be empty");
+        self.isolation_policies = Some(policies);
+        self
+    }
+
+    /// Sweeps virtual-address randomization over `modes`.
+    pub fn with_aslr_modes(mut self, modes: Vec<AslrMode>) -> Self {
+        assert!(!modes.is_empty(), "aslr axis must not be empty");
+        self.aslr_modes = Some(modes);
+        self
+    }
+
+    /// Sweeps the physical allocation order over `orders`.
+    pub fn with_allocation_orders(mut self, orders: Vec<AllocationOrder>) -> Self {
+        assert!(!orders.is_empty(), "allocation axis must not be empty");
+        self.allocation_orders = Some(orders);
+        self
+    }
+
+    /// Sets the scrape-mode axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty.
+    pub fn with_scrape_modes(mut self, modes: Vec<ScrapeMode>) -> Self {
+        assert!(!modes.is_empty(), "scrape axis must not be empty");
+        self.scrape_modes = modes;
+        self
+    }
+
+    /// Sets the victim-schedule axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedules` is empty.
+    pub fn with_schedules(mut self, schedules: Vec<VictimSchedule>) -> Self {
+        assert!(!schedules.is_empty(), "schedule axis must not be empty");
+        self.schedules = schedules;
+        self
+    }
+
+    /// Sets the base attack configuration (each cell overlays its scrape
+    /// mode on top).
+    pub fn with_attack_config(mut self, config: AttackConfig) -> Self {
+        self.attack_config = config;
+        self
+    }
+
+    /// Sets the campaign seed mixed into every cell's seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker pool at `jobs` threads (`--jobs` style).  Defaults to
+    /// the machine's available parallelism.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.boards.len()
+            * self.models.len()
+            * self.inputs.len()
+            * self.sanitize_policies.as_ref().map_or(1, Vec::len)
+            * self.isolation_policies.as_ref().map_or(1, Vec::len)
+            * self.aslr_modes.as_ref().map_or(1, Vec::len)
+            * self.allocation_orders.as_ref().map_or(1, Vec::len)
+            * self.scrape_modes.len()
+            * self.schedules.len()
+    }
+
+    /// Expands the matrix into cells, in the documented deterministic order.
+    pub fn expand(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (board_index, (board_name, base_board)) in self.boards.iter().enumerate() {
+            for &model in &self.models {
+                for &input in &self.inputs {
+                    for sanitize in optional_axis(&self.sanitize_policies) {
+                        for isolation in optional_axis(&self.isolation_policies) {
+                            for aslr in optional_axis(&self.aslr_modes) {
+                                for order in optional_axis(&self.allocation_orders) {
+                                    for &scrape_mode in &self.scrape_modes {
+                                        for &schedule in &self.schedules {
+                                            let mut board = *base_board;
+                                            if let Some(p) = sanitize {
+                                                board = board.with_sanitize_policy(p);
+                                            }
+                                            if let Some(p) = isolation {
+                                                board = board.with_isolation(p);
+                                            }
+                                            if let Some(m) = aslr {
+                                                board = board.with_aslr(m);
+                                            }
+                                            if let Some(o) = order {
+                                                board = board.with_allocation_order(o);
+                                            }
+                                            let index = cells.len();
+                                            cells.push(CampaignCell {
+                                                index,
+                                                board_index,
+                                                board_name: board_name.clone(),
+                                                board,
+                                                model,
+                                                input,
+                                                sanitize: board.sanitize_policy(),
+                                                isolation: board.isolation(),
+                                                aslr: board.aslr(),
+                                                allocation_order: board.allocation_order(),
+                                                scrape_mode,
+                                                schedule,
+                                                seed: mix_seed(self.seed, index as u64),
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs the campaign on the default worker count (the configured
+    /// `--jobs` cap, else the machine's available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest cell index) hard error; isolation denials
+    /// are data ([`ScenarioResult::Blocked`]), not errors.
+    pub fn run(&self) -> Result<CampaignReport, AttackError> {
+        let workers = self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        self.run_with_workers(workers)
+    }
+
+    /// Runs the campaign on exactly `workers` pool threads.
+    ///
+    /// Cells are pulled from a shared queue; results land in their cell's
+    /// slot, so the report content does not depend on `workers`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest cell index) hard error.
+    pub fn run_with_workers(&self, workers: usize) -> Result<CampaignReport, AttackError> {
+        let started = Instant::now();
+        let cells = self.expand();
+        let workers = workers.clamp(1, cells.len().max(1));
+
+        // One offline profiling pass per board axis entry, shared by every
+        // cell on that board.  Profiling replays the board preset on the
+        // attacker's own (permissive, pre-defense) hardware.
+        let profiles: Vec<ProfileDatabase> = self
+            .boards
+            .iter()
+            .map(|(_, board)| {
+                Profiler::new(board.with_isolation(IsolationPolicy::Permissive)).profile_all()
+            })
+            .collect();
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CellRecord, AttackError>>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let db = &profiles[cell.board_index];
+                    let record = run_cell(cell, db, &self.attack_config);
+                    *slots[i].lock().expect("cell slot poisoned") = Some(record);
+                });
+            }
+        });
+
+        let mut records = Vec::with_capacity(cells.len());
+        for slot in slots {
+            let record = slot
+                .into_inner()
+                .expect("cell slot poisoned")
+                .expect("every queued cell was run");
+            records.push(record?);
+        }
+        Ok(CampaignReport {
+            cells: records,
+            workers,
+            total_elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// Iterates an optional override axis: absent → one `None` (inherit the
+/// board's own setting), present → each value as `Some`.
+fn optional_axis<T: Copy>(axis: &Option<Vec<T>>) -> Vec<Option<T>> {
+    match axis {
+        None => vec![None],
+        Some(values) => values.iter().copied().map(Some).collect(),
+    }
+}
+
+/// splitmix64 mix of the campaign seed and the cell index.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    crate::scenario::splitmix64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn run_cell(
+    cell: &CampaignCell,
+    profiles: &ProfileDatabase,
+    base_config: &AttackConfig,
+) -> Result<CellRecord, AttackError> {
+    let started = Instant::now();
+    let scenario = cell.scenario(profiles.clone(), base_config);
+    let (result, outcome) = scenario.execute_allow_blocked()?;
+    Ok(CellRecord {
+        cell: cell.clone(),
+        metrics: outcome.as_ref().map(|o| o.metrics()),
+        timings: outcome.map(|o| o.attack().timings),
+        result,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// The result of one campaign cell.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// The cell that ran.
+    pub cell: CampaignCell,
+    /// Whether the attack completed or was blocked (and where).
+    pub result: ScenarioResult,
+    /// The deterministic scenario metrics (`None` when blocked).
+    pub metrics: Option<ScenarioMetrics>,
+    /// Per-step attack timings (`None` when blocked); wall-clock, so not
+    /// part of the deterministic comparison surface.
+    pub timings: Option<StepTimings>,
+    /// Wall-clock duration of the whole cell (boot to scored outcome).
+    pub elapsed: Duration,
+}
+
+impl CellRecord {
+    /// `true` when the attack ran to completion.
+    pub fn completed(&self) -> bool {
+        matches!(self.result, ScenarioResult::Completed)
+    }
+
+    /// The step the isolation policy denied, when the cell was blocked.
+    pub fn blocked_step(&self) -> Option<&str> {
+        match &self.result {
+            ScenarioResult::Completed => None,
+            ScenarioResult::Blocked { step } => Some(step),
+        }
+    }
+
+    /// `true` when the attack correctly identified the victim model.
+    pub fn identified(&self) -> bool {
+        self.metrics.as_ref().is_some_and(|m| m.model_identified)
+    }
+
+    /// Pixel recovery rate (0.0 for blocked cells).
+    pub fn pixel_recovery(&self) -> f64 {
+        self.metrics.as_ref().map_or(0.0, |m| m.pixel_recovery)
+    }
+
+    /// The reproducible part of the record — what must be identical across
+    /// worker counts and repeated same-seed runs.
+    pub fn deterministic_view(&self) -> (&CampaignCell, &ScenarioResult, Option<&ScenarioMetrics>) {
+        (&self.cell, &self.result, self.metrics.as_ref())
+    }
+}
+
+/// Success/recovery/blocked aggregates over one group of cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Cells in the group.
+    pub cells: usize,
+    /// Cells whose attack ran to completion.
+    pub completed: usize,
+    /// Cells blocked by the isolation policy.
+    pub blocked: usize,
+    /// Cells whose attack identified the correct model.
+    pub identified: usize,
+    /// Mean pixel recovery across the group (blocked cells count as 0).
+    pub mean_pixel_recovery: f64,
+    /// Total residue frames left across the group.
+    pub residue_frames: usize,
+}
+
+impl GroupStats {
+    fn absorb(&mut self, record: &CellRecord) {
+        // mean_pixel_recovery holds the running sum until `finalize`.
+        self.cells += 1;
+        if record.completed() {
+            self.completed += 1;
+        } else {
+            self.blocked += 1;
+        }
+        if record.identified() {
+            self.identified += 1;
+        }
+        self.mean_pixel_recovery += record.pixel_recovery();
+        self.residue_frames += record.metrics.as_ref().map_or(0, |m| m.residue_frames);
+    }
+
+    fn finalize(&mut self) {
+        if self.cells > 0 {
+            self.mean_pixel_recovery /= self.cells as f64;
+        }
+    }
+
+    /// Fraction of the group's cells that identified the victim model.
+    pub fn identification_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.identified as f64 / self.cells as f64
+        }
+    }
+
+    /// Fraction of the group's cells blocked by isolation.
+    pub fn blocked_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.cells as f64
+        }
+    }
+}
+
+/// Wall-clock statistics of a campaign run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WallClockStats {
+    /// End-to-end campaign duration (includes shared profiling).
+    pub total: Duration,
+    /// Sum of per-cell durations (the serial-equivalent work).
+    pub cells_total: Duration,
+    /// Fastest cell.
+    pub min_cell: Duration,
+    /// Slowest cell.
+    pub max_cell: Duration,
+    /// Mean cell duration.
+    pub mean_cell: Duration,
+}
+
+/// Aggregated result of a campaign run: per-cell records in deterministic
+/// cell order plus grouped success/recovery/blocked rates and wall-clock
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    cells: Vec<CellRecord>,
+    workers: usize,
+    total_elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// The per-cell records, ordered by cell index (worker-count
+    /// independent).
+    pub fn cells(&self) -> &[CellRecord] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the campaign had no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Worker threads the run used.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Cells whose attack ran to completion.
+    pub fn completed_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.completed()).count()
+    }
+
+    /// Cells blocked by the isolation policy.
+    pub fn blocked_count(&self) -> usize {
+        self.len() - self.completed_count()
+    }
+
+    /// Cells that identified the correct victim model.
+    pub fn identified_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.identified()).count()
+    }
+
+    /// Mean pixel recovery across all cells (blocked cells count as 0).
+    pub fn mean_pixel_recovery(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .map(CellRecord::pixel_recovery)
+            .sum::<f64>()
+            / self.len() as f64
+    }
+
+    /// Groups cells by `key` and aggregates each group, in key order.
+    pub fn group_by<K, F>(&self, key: F) -> BTreeMap<K, GroupStats>
+    where
+        K: Ord,
+        F: Fn(&CellRecord) -> K,
+    {
+        let mut groups: BTreeMap<K, GroupStats> = BTreeMap::new();
+        for record in &self.cells {
+            groups.entry(key(record)).or_default().absorb(record);
+        }
+        for stats in groups.values_mut() {
+            stats.finalize();
+        }
+        groups
+    }
+
+    /// Wall-clock statistics of the run.
+    pub fn wall_clock(&self) -> WallClockStats {
+        if self.cells.is_empty() {
+            return WallClockStats {
+                total: self.total_elapsed,
+                ..WallClockStats::default()
+            };
+        }
+        let cells_total: Duration = self.cells.iter().map(|c| c.elapsed).sum();
+        WallClockStats {
+            total: self.total_elapsed,
+            cells_total,
+            min_cell: self.cells.iter().map(|c| c.elapsed).min().unwrap(),
+            max_cell: self.cells.iter().map(|c| c.elapsed).max().unwrap(),
+            mean_cell: cells_total / self.cells.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn default_spec_is_one_cell() {
+        let spec = tiny_spec();
+        assert_eq!(spec.cell_count(), 1);
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 1);
+        let cell = &cells[0];
+        assert_eq!(cell.index, 0);
+        assert_eq!(cell.board_name, "tiny");
+        assert_eq!(cell.model, ModelKind::Resnet50Pt);
+        assert_eq!(cell.input, InputKind::SamplePhoto);
+        // Unset override axes inherit the board's own policies.
+        assert_eq!(cell.sanitize, SanitizePolicy::None);
+        assert_eq!(cell.isolation, IsolationPolicy::Permissive);
+        assert_eq!(cell.schedule, VictimSchedule::Single);
+    }
+
+    #[test]
+    fn expansion_order_and_seeds_are_deterministic() {
+        let spec = tiny_spec()
+            .with_models(vec![ModelKind::SqueezeNet, ModelKind::MobileNetV2])
+            .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+            .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+            .with_seed(99);
+        assert_eq!(spec.cell_count(), 8);
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        // Model varies slowest, scrape mode fastest.
+        assert_eq!(a[0].model, ModelKind::SqueezeNet);
+        assert_eq!(a[3].model, ModelKind::SqueezeNet);
+        assert_eq!(a[4].model, ModelKind::MobileNetV2);
+        assert_eq!(a[0].scrape_mode, ScrapeMode::ContiguousRange);
+        assert_eq!(a[1].scrape_mode, ScrapeMode::PerPage);
+        assert_eq!(a[1].input, InputKind::SamplePhoto);
+        assert_eq!(a[2].input, InputKind::Corrupted);
+        // Seeds are index-mixed and distinct.
+        assert!(a.windows(2).all(|w| w[0].seed != w[1].seed));
+        // A different campaign seed yields different cell seeds.
+        let other = tiny_spec().with_seed(100).expand();
+        assert_ne!(other[0].seed, a[0].seed);
+        // Labels mention the axes.
+        assert!(a[0].label().contains("tiny/"));
+        assert!(a[0].label().contains("squeezenet"));
+    }
+
+    #[test]
+    fn board_override_axes_resolve_into_cells() {
+        let spec = tiny_spec()
+            .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::ZeroOnFree])
+            .with_isolation_policies(vec![IsolationPolicy::Permissive, IsolationPolicy::Confined]);
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].sanitize, SanitizePolicy::None);
+        assert_eq!(cells[0].isolation, IsolationPolicy::Permissive);
+        assert_eq!(cells[1].isolation, IsolationPolicy::Confined);
+        assert_eq!(cells[2].sanitize, SanitizePolicy::ZeroOnFree);
+        for cell in &cells {
+            assert_eq!(cell.board.sanitize_policy(), cell.sanitize);
+            assert_eq!(cell.board.isolation(), cell.isolation);
+        }
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let report = tiny_spec()
+            .with_models(vec![ModelKind::SqueezeNet])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::SelectiveScrub])
+            .with_isolation_policies(vec![IsolationPolicy::Permissive, IsolationPolicy::Confined])
+            .with_jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.workers(), 2);
+        assert_eq!(report.completed_count(), 2);
+        assert_eq!(report.blocked_count(), 2);
+        // Only the unsanitized + permissive cell leaks.
+        assert_eq!(report.identified_count(), 1);
+        assert!(report.mean_pixel_recovery() > 0.0);
+        assert!(!report.is_empty());
+
+        let by_isolation = report.group_by(|r| r.cell.isolation.to_string());
+        assert_eq!(by_isolation.len(), 2);
+        let confined = &by_isolation["confined"];
+        assert_eq!(confined.cells, 2);
+        assert_eq!(confined.blocked, 2);
+        assert_eq!(confined.blocked_rate(), 1.0);
+        assert_eq!(confined.identification_rate(), 0.0);
+        let permissive = &by_isolation["permissive"];
+        assert_eq!(permissive.completed, 2);
+        assert_eq!(permissive.identified, 1);
+
+        let clock = report.wall_clock();
+        assert!(clock.total > Duration::ZERO);
+        assert!(clock.min_cell <= clock.max_cell);
+        assert!(clock.cells_total >= clock.max_cell);
+
+        let blocked: Vec<_> = report
+            .cells()
+            .iter()
+            .filter_map(CellRecord::blocked_step)
+            .collect();
+        assert_eq!(blocked.len(), 2);
+    }
+
+    #[test]
+    fn group_stats_empty_rates() {
+        let stats = GroupStats::default();
+        assert_eq!(stats.identification_rate(), 0.0);
+        assert_eq!(stats.blocked_rate(), 0.0);
+    }
+
+    #[test]
+    fn input_kind_materializes_and_displays() {
+        let img = InputKind::Corrupted.materialize(ModelKind::SqueezeNet);
+        assert!(img.as_bytes().iter().all(|&b| b == 0xFF));
+        assert_eq!(InputKind::SamplePhoto.to_string(), "sample-photo");
+        assert_eq!(InputKind::Corrupted.to_string(), "corrupted");
+        assert_eq!(InputKind::Sentinel.to_string(), "sentinel");
+        assert_eq!(InputKind::default(), InputKind::SamplePhoto);
+    }
+}

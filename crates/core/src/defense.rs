@@ -5,18 +5,44 @@
 //! termination (RowClone / RowReset / selective scrubbing), confining the
 //! debugger, and randomizing layout.  These sweeps supply the missing numbers
 //! (experiments TAB-B, TAB-D, TAB-F and the isolation ablation).
+//!
+//! Each sweep is a thin [`CampaignSpec`] over the [`crate::campaign`] engine:
+//! the spec declares the axis being swept, the shared worker pool executes
+//! the cells (amortizing offline profiling across the sweep), and the rows
+//! below are projections of the resulting [`CellRecord`]s.
 
-use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, UserId};
+use petalinux_sim::{BoardConfig, IsolationPolicy};
 use serde::{Deserialize, Serialize};
-use vitis_ai_sim::{DpuRunner, Image, ModelKind};
-use xsdb::DebugSession;
+use vitis_ai_sim::ModelKind;
 use zynq_dram::SanitizePolicy;
 use zynq_mmu::{AllocationOrder, AslrMode};
 
-use crate::attack::{AttackConfig, AttackPipeline, ScrapeMode};
+use crate::attack::ScrapeMode;
+use crate::campaign::{CampaignSpec, CellRecord, InputKind};
 use crate::error::AttackError;
-use crate::profile::Profiler;
-use crate::scenario::{AttackScenario, ScenarioResult};
+use crate::scenario::{ScenarioMetrics, ScenarioResult, VictimSchedule};
+
+/// The sanitization policies every policy sweep covers: each basic policy
+/// plus a long-delay background scrubber.
+fn swept_policies() -> Vec<SanitizePolicy> {
+    let mut policies: Vec<SanitizePolicy> = SanitizePolicy::all_basic().to_vec();
+    policies.push(SanitizePolicy::Background { delay_ticks: 1000 });
+    policies
+}
+
+/// The metrics of a cell that a sweep requires to have completed.
+///
+/// Sweeps that do not themselves ablate isolation (sanitize, layout,
+/// multi-tenant) inherit the caller's board policy; on a confined board
+/// their cells come back blocked, which these sweeps surface as
+/// [`AttackError::Blocked`] rather than panicking or fabricating rows.
+fn completed_metrics(record: &CellRecord) -> Result<&ScenarioMetrics, AttackError> {
+    match (&record.result, &record.metrics) {
+        (ScenarioResult::Completed, Some(metrics)) => Ok(metrics),
+        (ScenarioResult::Blocked { step }, _) => Err(AttackError::Blocked { step: step.clone() }),
+        (ScenarioResult::Completed, None) => unreachable!("completed cell has metrics"),
+    }
+}
 
 /// One row of the sanitization-policy sweep (TAB-B).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,31 +66,33 @@ pub struct SanitizeRow {
 ///
 /// # Errors
 ///
-/// Propagates attack errors other than permission denials (which cannot occur
-/// here because the isolation policy is left permissive).
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel (the sweep inherits the
+/// board's isolation policy).
 pub fn evaluate_sanitize_policies(
     board: BoardConfig,
     model: ModelKind,
 ) -> Result<Vec<SanitizeRow>, AttackError> {
-    let mut policies: Vec<SanitizePolicy> = SanitizePolicy::all_basic().to_vec();
-    policies.push(SanitizePolicy::Background { delay_ticks: 1000 });
-
-    let mut rows = Vec::with_capacity(policies.len());
-    for policy in policies {
-        let outcome = AttackScenario::new(board.with_sanitize_policy(policy), model)
-            .with_corrupted_input()
-            .execute()?;
-        let report = outcome.scrub_report().cloned();
-        rows.push(SanitizeRow {
-            policy,
-            model_identified: outcome.model_identification_correct(),
-            pixel_recovery: outcome.pixel_recovery_rate(),
-            residue_frames: outcome.residue_frames_after(),
-            scrub_cost_cycles: report.as_ref().map_or(0.0, |r| r.cost_cycles),
-            collateral_bytes: report.as_ref().map_or(0, |r| r.collateral_bytes),
-        });
-    }
-    Ok(rows)
+    let report = CampaignSpec::new("sanitize-sweep", board)
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(swept_policies())
+        .run()?;
+    report
+        .cells()
+        .iter()
+        .map(|record| {
+            let metrics = completed_metrics(record)?;
+            Ok(SanitizeRow {
+                policy: record.cell.sanitize,
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
+                residue_frames: metrics.residue_frames,
+                scrub_cost_cycles: metrics.scrub_cost_cycles,
+                collateral_bytes: metrics.collateral_bytes,
+            })
+        })
+        .collect()
 }
 
 /// One row of the isolation-policy ablation.
@@ -91,30 +119,32 @@ pub fn evaluate_isolation(
     board: BoardConfig,
     model: ModelKind,
 ) -> Result<Vec<IsolationRow>, AttackError> {
-    let mut rows = Vec::new();
-    for isolation in [IsolationPolicy::Permissive, IsolationPolicy::Confined] {
-        let scenario =
-            AttackScenario::new(board.with_isolation(isolation), model).with_corrupted_input();
-        let (result, outcome) = scenario.execute_allow_blocked()?;
-        match (result, outcome) {
-            (ScenarioResult::Completed, Some(outcome)) => rows.push(IsolationRow {
-                isolation,
+    let report = CampaignSpec::new("isolation-ablation", board)
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_isolation_policies(vec![IsolationPolicy::Permissive, IsolationPolicy::Confined])
+        .run()?;
+    Ok(report
+        .cells()
+        .iter()
+        .map(|record| match (&record.result, &record.metrics) {
+            (ScenarioResult::Completed, Some(metrics)) => IsolationRow {
+                isolation: record.cell.isolation,
                 attack_completed: true,
-                model_identified: outcome.model_identification_correct(),
-                pixel_recovery: outcome.pixel_recovery_rate(),
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
                 blocked_at: None,
-            }),
-            (ScenarioResult::Blocked { step }, _) => rows.push(IsolationRow {
-                isolation,
+            },
+            (ScenarioResult::Blocked { step }, _) => IsolationRow {
+                isolation: record.cell.isolation,
                 attack_completed: false,
                 model_identified: false,
                 pixel_recovery: 0.0,
-                blocked_at: Some(step),
-            }),
-            (ScenarioResult::Completed, None) => unreachable!("completed scenario has an outcome"),
-        }
-    }
-    Ok(rows)
+                blocked_at: Some(step.clone()),
+            },
+            (ScenarioResult::Completed, None) => unreachable!("completed cell has metrics"),
+        })
+        .collect())
 }
 
 /// One row of the layout-randomization sweep (TAB-D).
@@ -137,44 +167,36 @@ pub struct LayoutRow {
 ///
 /// # Errors
 ///
-/// Propagates attack errors.
+/// Propagates attack errors; returns [`AttackError::Blocked`] on a confined
+/// board.
 pub fn evaluate_layout_randomization(
     board: BoardConfig,
     model: ModelKind,
 ) -> Result<Vec<LayoutRow>, AttackError> {
-    let layouts = [
-        (AllocationOrder::Sequential, AslrMode::Disabled),
-        (
+    let report = CampaignSpec::new("layout-sweep", board)
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_aslr_modes(vec![AslrMode::Disabled, AslrMode::Virtual { seed: 7 }])
+        .with_allocation_orders(vec![
+            AllocationOrder::Sequential,
             AllocationOrder::Randomized { seed: 0xC0FFEE },
-            AslrMode::Disabled,
-        ),
-        (AllocationOrder::Sequential, AslrMode::Virtual { seed: 7 }),
-        (
-            AllocationOrder::Randomized { seed: 0xC0FFEE },
-            AslrMode::Virtual { seed: 7 },
-        ),
-    ];
-    let mut rows = Vec::new();
-    for (order, aslr) in layouts {
-        for scrape_mode in [ScrapeMode::ContiguousRange, ScrapeMode::PerPage] {
-            let configured = board.with_allocation_order(order).with_aslr(aslr);
-            let outcome = AttackScenario::new(configured, model)
-                .with_corrupted_input()
-                .with_attack_config(AttackConfig {
-                    scrape_mode,
-                    ..AttackConfig::default()
-                })
-                .execute()?;
-            rows.push(LayoutRow {
-                allocation_order: order,
-                aslr,
-                scrape_mode,
-                model_identified: outcome.model_identification_correct(),
-                pixel_recovery: outcome.pixel_recovery_rate(),
-            });
-        }
-    }
-    Ok(rows)
+        ])
+        .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+        .run()?;
+    report
+        .cells()
+        .iter()
+        .map(|record| {
+            let metrics = completed_metrics(record)?;
+            Ok(LayoutRow {
+                allocation_order: record.cell.allocation_order,
+                aslr: record.cell.aslr,
+                scrape_mode: record.cell.scrape_mode,
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
+            })
+        })
+        .collect()
 }
 
 /// One row of the multi-tenant sweep (TAB-F): what a sanitization policy does
@@ -196,7 +218,8 @@ pub struct MultiTenantRow {
 /// Evaluates each sanitization policy in a two-tenant setting: tenant A
 /// terminates (and is attacked), tenant B keeps running.
 ///
-/// The allocation history is deliberately fragmented (a warm-up process is
+/// The campaign schedule axis is [`VictimSchedule::MultiTenant`]: the
+/// allocation history is deliberately fragmented (a warm-up process is
 /// spawned and torn down before the victim starts) so the victim's physical
 /// frames are **non-contiguous and straddle the active tenant's frames** —
 /// the situation in which the paper argues contiguous-initialization schemes
@@ -207,93 +230,38 @@ pub struct MultiTenantRow {
 ///
 /// # Errors
 ///
-/// Propagates kernel/attack errors.
+/// Propagates kernel/attack errors; returns [`AttackError::Blocked`] on a
+/// confined board.
 pub fn evaluate_multi_tenant(
     board: BoardConfig,
     victim_model: ModelKind,
     active_model: ModelKind,
 ) -> Result<Vec<MultiTenantRow>, AttackError> {
-    let mut policies: Vec<SanitizePolicy> = SanitizePolicy::all_basic().to_vec();
-    policies.push(SanitizePolicy::Background { delay_ticks: 1000 });
-
-    let profiles = Profiler::new(board).profile_all();
-    let mut rows = Vec::with_capacity(policies.len());
-    for policy in policies {
-        let configured = board.with_sanitize_policy(policy);
-        let mut kernel = Kernel::boot(configured);
-
-        let tenant_a = UserId::new(0);
-        let tenant_b = UserId::new(2);
-
-        // Fragment the allocator: a warm-up process claims a block of low
-        // frames and releases it again after the active tenant has started,
-        // so the victim's allocation is split across the hole and fresh
-        // frames above the active tenant.
-        let warmup = kernel.spawn(tenant_a, &["warmup"])?;
-        kernel.grow_heap(warmup, 16 * zynq_dram::PAGE_SIZE)?;
-
-        let active = DpuRunner::new(active_model)
-            .launch(&mut kernel, tenant_b)
-            .map_err(|e| match e {
-                vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
-            })?;
-        kernel.terminate(warmup)?;
-
-        let victim = DpuRunner::new(victim_model)
-            .with_input(Image::corrupted(
-                victim_model.input_dims().0,
-                victim_model.input_dims().1,
-            ))
-            .launch(&mut kernel, tenant_a)
-            .map_err(|e| match e {
-                vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
-            })?;
-
-        // The attacker observes the victim, the victim terminates, the policy
-        // runs, the attacker scrapes.
-        let pipeline = AttackPipeline::new(AttackConfig {
-            victim_pattern: Some(victim_model.name().to_string()),
-            scrape_mode: ScrapeMode::PerPage,
-            ..AttackConfig::default()
+    let report = CampaignSpec::new("multi-tenant-sweep", board)
+        .with_models(vec![victim_model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(swept_policies())
+        .with_scrape_modes(vec![ScrapeMode::PerPage])
+        .with_schedules(vec![VictimSchedule::MultiTenant {
+            active_model,
+            warmup_pages: 16,
+        }])
+        .run()?;
+    report
+        .cells()
+        .iter()
+        .map(|record| {
+            let metrics = completed_metrics(record)?;
+            Ok(MultiTenantRow {
+                policy: record.cell.sanitize,
+                victim_model_identified: metrics.model_identified,
+                active_tenant_bytes_clobbered: metrics.collateral_bytes,
+                active_tenant_data_intact: metrics
+                    .active_tenant_intact
+                    .expect("multi-tenant schedule reports co-tenant state"),
+            })
         })
-        .with_profiles(profiles.clone());
-        let mut debugger = DebugSession::connect(UserId::new(1));
-        let observation = pipeline.poll_and_observe(&mut debugger, &kernel)?;
-        victim.terminate(&mut kernel).map_err(|e| match e {
-            vitis_ai_sim::RunnerError::Kernel(k) => AttackError::Channel(k),
-        })?;
-        // Collateral is summed over every sanitizer run on this board (the
-        // warm-up teardown plus the victim's), since both can touch the
-        // active tenant under bank/row-granular schemes.
-        let collateral: u64 = kernel
-            .scrub_reports()
-            .iter()
-            .map(|r| r.collateral_bytes)
-            .sum();
-        let outcome = pipeline.execute(&mut debugger, &kernel, &observation)?;
-
-        // Ground truth for the active tenant: is its input image still intact
-        // in its own (still mapped) heap?
-        let active_layout = active.layout();
-        let (aw, ah) = active_model.input_dims();
-        let mut active_image = vec![0u8; (aw * ah * 3) as usize];
-        let heap_base = kernel.process(active.pid())?.heap_base();
-        kernel.read_process_memory(
-            active.pid(),
-            heap_base + active_layout.image_offset,
-            &mut active_image,
-        )?;
-        let expected = active.input_image().as_bytes();
-        let intact = active_image == expected;
-
-        rows.push(MultiTenantRow {
-            policy,
-            victim_model_identified: outcome.identified_model() == Some(victim_model),
-            active_tenant_bytes_clobbered: collateral,
-            active_tenant_data_intact: intact,
-        });
-    }
-    Ok(rows)
+        .collect()
 }
 
 #[cfg(test)]
@@ -351,6 +319,19 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_on_a_confined_board_error_instead_of_fabricating_rows() {
+        let confined = board().with_isolation(IsolationPolicy::Confined);
+        assert!(matches!(
+            evaluate_sanitize_policies(confined, ModelKind::SqueezeNet),
+            Err(AttackError::Blocked { .. })
+        ));
+        assert!(matches!(
+            evaluate_layout_randomization(confined, ModelKind::SqueezeNet),
+            Err(AttackError::Blocked { .. })
+        ));
+    }
+
+    #[test]
     fn isolation_sweep_blocks_only_the_confined_board() {
         let rows = evaluate_isolation(board(), ModelKind::SqueezeNet).unwrap();
         assert_eq!(rows.len(), 2);
@@ -383,6 +364,19 @@ mod tests {
                 })
                 .unwrap()
         };
+
+        // Row order matches the hand-rolled sweep this replaced: ASLR varies
+        // slowest, then allocation order, then scrape mode.
+        assert_eq!(rows[0].allocation_order, AllocationOrder::Sequential);
+        assert_eq!(rows[0].aslr, AslrMode::Disabled);
+        assert_eq!(rows[0].scrape_mode, ScrapeMode::ContiguousRange);
+        assert!(matches!(
+            rows[2].allocation_order,
+            AllocationOrder::Randomized { .. }
+        ));
+        assert_eq!(rows[2].aslr, AslrMode::Disabled);
+        assert_eq!(rows[4].allocation_order, AllocationOrder::Sequential);
+        assert!(matches!(rows[4].aslr, AslrMode::Virtual { .. }));
 
         // Deterministic layout: both attackers succeed fully.
         assert!(find(false, ScrapeMode::ContiguousRange).pixel_recovery > 0.99);

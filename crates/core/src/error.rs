@@ -36,6 +36,12 @@ pub enum AttackError {
     /// A debugger / kernel operation failed (permission denied under a
     /// confined isolation policy, bad addresses, …).
     Channel(KernelError),
+    /// A sweep that requires completed attacks ran on a board whose isolation
+    /// policy blocked the attack at the given step.
+    Blocked {
+        /// Description of the denied step.
+        step: String,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -58,6 +64,9 @@ impl fmt::Display for AttackError {
                 write!(f, "no offline profile available for model {model}")
             }
             AttackError::Channel(e) => write!(f, "attack channel error: {e}"),
+            AttackError::Blocked { step } => {
+                write!(f, "attack blocked by the isolation policy at: {step}")
+            }
         }
     }
 }
@@ -102,6 +111,11 @@ mod tests {
         .contains("resnet50_pt"));
         let channel = AttackError::from(KernelError::EmptyCommandLine);
         assert!(channel.to_string().contains("attack channel"));
+        assert!(AttackError::Blocked {
+            step: "read /proc".into()
+        }
+        .to_string()
+        .contains("blocked"));
         assert!(channel.source().is_some());
         assert!(AttackError::VictimNotFound.source().is_none());
     }

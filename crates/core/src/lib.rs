@@ -26,7 +26,12 @@
 //! crates provide, [`detect`] gives the defender a monitor that recognizes
 //! the attack's access pattern in the debugger audit log, and [`scenario`]
 //! packages a full victim-plus-attacker run for the examples, integration
-//! tests and benchmarks.
+//! tests and benchmarks.  [`campaign`] scales all of that to fleet-sized
+//! evaluation: a [`campaign::CampaignSpec`] declares a scenario matrix over
+//! boards, models, inputs, defenses, scrape modes and victim schedules, and
+//! a scoped worker pool runs the cells in parallel with deterministic,
+//! worker-count-independent results — the substrate every `defense` sweep
+//! and the `experiments` binary now run on.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 
 pub mod analysis;
 pub mod attack;
+pub mod campaign;
 pub mod defense;
 pub mod detect;
 pub mod dump;
@@ -61,10 +67,11 @@ pub mod signature;
 pub mod translate;
 
 pub use attack::{AttackConfig, AttackPipeline, ScrapeMode};
+pub use campaign::{CampaignCell, CampaignReport, CampaignSpec, CellRecord, InputKind};
 pub use dump::MemoryDump;
 pub use error::AttackError;
 pub use metrics::{AttackOutcome, StepTimings};
 pub use profile::{ModelProfile, ProfileDatabase, Profiler};
-pub use scenario::{AttackScenario, ScenarioOutcome};
+pub use scenario::{AttackScenario, ScenarioMetrics, ScenarioOutcome, VictimSchedule};
 pub use signature::{ModelMatch, SignatureDb};
 pub use translate::HeapTranslation;

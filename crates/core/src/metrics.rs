@@ -30,6 +30,55 @@ impl StepTimings {
     }
 }
 
+/// Incremental recorder for [`StepTimings`].
+///
+/// Each pipeline stage stamps its own duration exactly once as it happens;
+/// nothing is zeroed up front and patched in afterwards.  An
+/// [`crate::attack::Observation`] owns the partial record (poll + translate),
+/// and [`crate::attack::AttackPipeline::execute`] completes it with the
+/// scrape and analyze stamps before [`StepTimingsBuilder::build`]ing the
+/// final [`StepTimings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTimingsBuilder {
+    timings: StepTimings,
+}
+
+impl StepTimingsBuilder {
+    /// Starts an empty record.
+    pub fn new() -> Self {
+        StepTimingsBuilder::default()
+    }
+
+    /// Stamps the Step 1 (poll) duration.
+    pub fn with_poll(mut self, elapsed: Duration) -> Self {
+        self.timings.poll = elapsed;
+        self
+    }
+
+    /// Stamps the Step 2 (translate) duration.
+    pub fn with_translate(mut self, elapsed: Duration) -> Self {
+        self.timings.translate = elapsed;
+        self
+    }
+
+    /// Stamps the Step 3 (scrape) duration.
+    pub fn with_scrape(mut self, elapsed: Duration) -> Self {
+        self.timings.scrape = elapsed;
+        self
+    }
+
+    /// Stamps the Step 4 (analyze) duration.
+    pub fn with_analyze(mut self, elapsed: Duration) -> Self {
+        self.timings.analyze = elapsed;
+        self
+    }
+
+    /// Finishes the record.
+    pub fn build(self) -> StepTimings {
+        self.timings
+    }
+}
+
 /// Everything the attack recovered from one victim.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttackOutcome {
@@ -115,6 +164,23 @@ mod tests {
         };
         assert_eq!(t.total(), Duration::from_millis(10));
         assert_eq!(StepTimings::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn timings_builder_stamps_each_step_once() {
+        let timings = StepTimingsBuilder::new()
+            .with_poll(Duration::from_millis(1))
+            .with_translate(Duration::from_millis(2))
+            .with_scrape(Duration::from_millis(3))
+            .with_analyze(Duration::from_millis(4))
+            .build();
+        assert_eq!(timings.total(), Duration::from_millis(10));
+        // A partial record leaves unstamped steps at zero.
+        let partial = StepTimingsBuilder::new()
+            .with_translate(Duration::from_millis(2))
+            .build();
+        assert_eq!(partial.poll, Duration::ZERO);
+        assert_eq!(partial.translate, Duration::from_millis(2));
     }
 
     #[test]

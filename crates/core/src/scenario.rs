@@ -1,13 +1,25 @@
 //! End-to-end attack scenarios: victim + attacker on one board.
 //!
 //! [`AttackScenario`] packages everything the examples, integration tests and
-//! benchmarks need: boot a board, (optionally) run offline profiling, launch
-//! the victim model, let the attacker observe it, terminate the victim, run
-//! the attack, and score the result against ground truth.
+//! benchmarks need, and is the unit of work the [`crate::campaign`] engine
+//! schedules.  A scenario runs in three separable stages:
+//!
+//! 1. **Board boot** — [`AttackScenario::boot`] resolves the profile
+//!    database, builds the attack pipeline, boots the kernel and plays the
+//!    scenario's [`VictimSchedule`] prologue (predecessor traffic, co-resident
+//!    tenants).
+//! 2. **Victim lifecycle** — [`BootedScenario::launch_victim`] starts the
+//!    victim model on the already-booted board.
+//! 3. **Attacker run** — [`BootedScenario::run_attack`] observes the victim,
+//!    waits for termination, scrapes, analyses and scores the result against
+//!    ground truth.
+//!
+//! [`AttackScenario::execute`] drives all three stages back to back, so
+//! single-shot callers keep their one-line API.
 
 use petalinux_sim::{BoardConfig, Kernel, UserId};
 use serde::{Deserialize, Serialize};
-use vitis_ai_sim::{CompletedRun, DpuRunner, Image, ModelKind, RunnerError};
+use vitis_ai_sim::{CompletedRun, DpuRunner, Image, LaunchedRun, ModelKind, RunnerError};
 use xsdb::DebugSession;
 use zynq_dram::ScrubReport;
 
@@ -22,6 +34,57 @@ fn runner_error(e: RunnerError) -> AttackError {
     }
 }
 
+/// How victim traffic is scheduled on the booted board before (and around)
+/// the attacked process.
+///
+/// This is a first-class campaign axis: the paper's single-victim procedure
+/// is [`VictimSchedule::Single`], fleet-style sequential tenant churn is
+/// [`VictimSchedule::SequentialTraffic`], and the multi-tenant collateral
+/// experiment (TAB-F) is [`VictimSchedule::MultiTenant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum VictimSchedule {
+    /// One victim process on an otherwise idle board (the paper's setup).
+    #[default]
+    Single,
+    /// `predecessors` other model processes run to completion on the board
+    /// before the victim launches, churning the frame allocator the way a
+    /// busy multi-user board would.  Which models run is derived
+    /// deterministically from the scenario seed.
+    SequentialTraffic {
+        /// Number of predecessor processes run (and terminated) before the
+        /// victim starts.
+        predecessors: usize,
+    },
+    /// A second, still-running tenant shares the board while the victim is
+    /// attacked, with the allocator deliberately fragmented by a warm-up
+    /// process so the victim's frames straddle the active tenant's (the
+    /// situation in which the paper argues contiguous sanitization schemes
+    /// clobber live guest data).
+    MultiTenant {
+        /// The model the co-resident (surviving) tenant keeps running.
+        active_model: ModelKind,
+        /// Heap pages claimed (and later released) by the fragmentation
+        /// warm-up process.
+        warmup_pages: u64,
+    },
+}
+
+impl std::fmt::Display for VictimSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VictimSchedule::Single => write!(f, "single"),
+            VictimSchedule::SequentialTraffic { predecessors } => {
+                write!(f, "sequential-traffic({predecessors})")
+            }
+            VictimSchedule::MultiTenant { active_model, .. } => {
+                write!(f, "multi-tenant({active_model})")
+            }
+        }
+    }
+}
+
 /// What the attack recovered, next to the ground truth it should have
 /// recovered.
 #[derive(Debug, Clone)]
@@ -31,6 +94,8 @@ pub struct ScenarioOutcome {
     scrub_report: Option<ScrubReport>,
     residue_frames_after: usize,
     denied_operations: usize,
+    collateral_bytes: u64,
+    active_tenant_intact: Option<bool>,
 }
 
 impl ScenarioOutcome {
@@ -60,6 +125,19 @@ impl ScenarioOutcome {
         self.denied_operations
     }
 
+    /// Bytes of other live owners' data destroyed by sanitizer runs, summed
+    /// over every scrub on the board (warm-up teardown, predecessor
+    /// terminations and the victim's own).
+    pub fn collateral_bytes(&self) -> u64 {
+        self.collateral_bytes
+    }
+
+    /// Whether the co-resident tenant's input survived intact in its own
+    /// heap (`None` outside [`VictimSchedule::MultiTenant`]).
+    pub fn active_tenant_intact(&self) -> Option<bool> {
+        self.active_tenant_intact
+    }
+
     /// The model the attack identified, if any.
     pub fn identified_model(&self) -> Option<ModelKind> {
         self.attack.identified_model()
@@ -80,6 +158,60 @@ impl ScenarioOutcome {
     pub fn bytes_scraped(&self) -> usize {
         self.attack.bytes_scraped
     }
+
+    /// Flattens the outcome into the clone-cheap [`ScenarioMetrics`] record
+    /// campaigns aggregate — scalars only, no dumps or images.
+    pub fn metrics(&self) -> ScenarioMetrics {
+        ScenarioMetrics {
+            identified_model: self.identified_model(),
+            model_identified: self.model_identification_correct(),
+            identification_confidence: self.attack.identification_confidence(),
+            pixel_recovery: self.pixel_recovery_rate(),
+            bytes_scraped: self.bytes_scraped(),
+            dump_coverage: self.attack.dump_coverage,
+            residue_frames: self.residue_frames_after,
+            denied_operations: self.denied_operations,
+            scrub_cost_cycles: self.scrub_report.as_ref().map_or(0.0, |r| r.cost_cycles),
+            collateral_bytes: self.collateral_bytes,
+            active_tenant_intact: self.active_tenant_intact,
+        }
+    }
+}
+
+/// The flat, deterministic summary of one scenario run.
+///
+/// Everything campaign aggregation and the experiment tables need, with none
+/// of the memory dumps or reconstructed images a [`ScenarioOutcome`] carries
+/// — cells can be collected by the thousand without cloning heaps.  All
+/// fields are reproducible for a fixed spec and seed (wall-clock timings live
+/// on the campaign cell record instead), which is what makes worker-count
+/// independence testable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioMetrics {
+    /// The model identification result, if any signature matched.
+    pub identified_model: Option<ModelKind>,
+    /// Whether the identification matches the victim's actual model.
+    pub model_identified: bool,
+    /// Confidence of the identification (0.0 when nothing matched).
+    pub identification_confidence: f64,
+    /// Fraction of the victim's input pixels recovered exactly.
+    pub pixel_recovery: f64,
+    /// Bytes scraped from physical memory.
+    pub bytes_scraped: usize,
+    /// Fraction of heap pages captured by the scrape.
+    pub dump_coverage: f64,
+    /// Residue frames left in DRAM after the attack.
+    pub residue_frames: usize,
+    /// Debugger operations denied by the isolation policy.
+    pub denied_operations: usize,
+    /// Modelled cost of the victim's termination scrub, in cycles.
+    pub scrub_cost_cycles: f64,
+    /// Live owners' bytes destroyed by sanitizer runs (summed over every
+    /// scrub on the board).
+    pub collateral_bytes: u64,
+    /// Whether the co-resident tenant's data survived
+    /// (`None` outside multi-tenant schedules).
+    pub active_tenant_intact: Option<bool>,
 }
 
 /// Outcome of a scenario in which the attack could not even complete (e.g.
@@ -122,6 +254,18 @@ pub struct AttackScenario {
     attack_config: AttackConfig,
     profile_offline: bool,
     profiles_override: Option<ProfileDatabase>,
+    schedule: VictimSchedule,
+    seed: u64,
+}
+
+/// splitmix64 — the standard cheap seed mixer; derives per-stage randomness
+/// (predecessor model rotation) from the scenario seed, and per-cell seeds
+/// from the campaign seed.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl AttackScenario {
@@ -138,6 +282,8 @@ impl AttackScenario {
             attack_config: AttackConfig::default(),
             profile_offline: true,
             profiles_override: None,
+            schedule: VictimSchedule::Single,
+            seed: 0,
         }
     }
 
@@ -167,7 +313,7 @@ impl AttackScenario {
     }
 
     /// Supplies a pre-built profile database instead of profiling inline
-    /// (used by benchmarks to amortize profiling cost).
+    /// (used by campaigns and benchmarks to amortize profiling cost).
     pub fn with_profiles(mut self, profiles: ProfileDatabase) -> Self {
         self.profiles_override = Some(profiles);
         self.profile_offline = false;
@@ -177,6 +323,19 @@ impl AttackScenario {
     /// Sets the attacker's user id (default 1).
     pub fn with_attacker_user(mut self, user: UserId) -> Self {
         self.attacker_user = user;
+        self
+    }
+
+    /// Sets the victim-traffic schedule (default [`VictimSchedule::Single`]).
+    pub fn with_schedule(mut self, schedule: VictimSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the scenario seed, from which schedule-level randomness (e.g.
+    /// predecessor model rotation) is derived deterministically.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -190,20 +349,19 @@ impl AttackScenario {
         self.model
     }
 
-    /// Runs the scenario end to end.
+    /// The victim-traffic schedule.
+    pub fn schedule(&self) -> VictimSchedule {
+        self.schedule
+    }
+
+    /// Stage 0: resolves the profile database the pipeline will use.
     ///
-    /// # Errors
-    ///
-    /// Returns an [`AttackError`] when the attack cannot complete — most
-    /// commonly [`AttackError::Channel`] under a confined isolation policy.
-    /// Use [`AttackScenario::execute_allow_blocked`] to treat that as data
-    /// rather than an error.
-    pub fn execute(&self) -> Result<ScenarioOutcome, AttackError> {
-        // Offline profiling happens on the attacker's own board, before the
-        // victim runs.  It replays the same board configuration but is not
-        // subject to the victim board's isolation policy (the attacker is
-        // root on their own hardware), so profile on the permissive variant.
-        let profiles = if let Some(profiles) = &self.profiles_override {
+    /// Offline profiling happens on the attacker's own board, before the
+    /// victim runs.  It replays the same board configuration but is not
+    /// subject to the victim board's isolation policy (the attacker is root
+    /// on their own hardware), so it profiles on the permissive variant.
+    pub fn resolve_profiles(&self) -> ProfileDatabase {
+        if let Some(profiles) = &self.profiles_override {
             profiles.clone()
         } else if self.profile_offline {
             let offline_board = self
@@ -220,29 +378,48 @@ impl AttackScenario {
             }
         } else {
             ProfileDatabase::new()
+        }
+    }
+
+    /// Stage 1: boots the board, builds the pipeline and plays the schedule
+    /// prologue (predecessor traffic / co-tenant launch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the schedule prologue.
+    pub fn boot(&self) -> Result<BootedScenario<'_>, AttackError> {
+        let profiles = self.resolve_profiles();
+
+        let mut config = self.attack_config.clone();
+        if matches!(self.schedule, VictimSchedule::MultiTenant { .. })
+            && config.victim_pattern.is_none()
+        {
+            // Two model processes run at once; target the victim by name so
+            // polling cannot latch onto the co-resident tenant.
+            config.victim_pattern = Some(self.model.name().to_string());
+        }
+        let pipeline = AttackPipeline::new(config).with_profiles(profiles);
+
+        let mut booted = BootedScenario {
+            scenario: self,
+            kernel: Kernel::boot(self.board),
+            pipeline,
+            active_tenant: None,
         };
+        booted.play_prologue()?;
+        Ok(booted)
+    }
 
-        let pipeline = AttackPipeline::new(self.attack_config.clone()).with_profiles(profiles);
-
-        let mut kernel = Kernel::boot(self.board);
-        let victim = DpuRunner::new(self.model)
-            .with_input(self.input.clone())
-            .launch(&mut kernel, self.victim_user)
-            .map_err(runner_error)?;
-        let mut debugger = DebugSession::connect(self.attacker_user);
-
-        let observation = pipeline.poll_and_observe(&mut debugger, &kernel)?;
-        let ground_truth = victim.terminate(&mut kernel).map_err(runner_error)?;
-        let scrub_report = kernel.scrub_reports().last().cloned();
-
-        let attack = pipeline.execute(&mut debugger, &kernel, &observation)?;
-        Ok(ScenarioOutcome {
-            attack,
-            ground_truth,
-            scrub_report,
-            residue_frames_after: kernel.residue_frame_count(),
-            denied_operations: debugger.audit().denied_count(),
-        })
+    /// Runs the scenario end to end (stages 1–3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AttackError`] when the attack cannot complete — most
+    /// commonly [`AttackError::Channel`] under a confined isolation policy.
+    /// Use [`AttackScenario::execute_allow_blocked`] to treat that as data
+    /// rather than an error.
+    pub fn execute(&self) -> Result<ScenarioOutcome, AttackError> {
+        self.boot()?.run()
     }
 
     /// Runs the scenario, but treats an isolation-policy denial as a
@@ -270,6 +447,153 @@ impl AttackScenario {
     }
 }
 
+/// Stage-1 output: a booted board with the schedule prologue applied, ready
+/// to launch the victim and run the attacker.
+#[derive(Debug)]
+pub struct BootedScenario<'a> {
+    scenario: &'a AttackScenario,
+    kernel: Kernel,
+    pipeline: AttackPipeline,
+    active_tenant: Option<LaunchedRun>,
+}
+
+impl<'a> BootedScenario<'a> {
+    /// The booted kernel (inspectable between stages).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The attack pipeline the attacker stage will run.
+    pub fn pipeline(&self) -> &AttackPipeline {
+        &self.pipeline
+    }
+
+    /// The co-resident tenant, when the schedule launched one.
+    pub fn active_tenant(&self) -> Option<&LaunchedRun> {
+        self.active_tenant.as_ref()
+    }
+
+    fn play_prologue(&mut self) -> Result<(), AttackError> {
+        match self.scenario.schedule {
+            VictimSchedule::Single => Ok(()),
+            VictimSchedule::SequentialTraffic { predecessors } => {
+                let zoo = ModelKind::all();
+                let start = (splitmix64(self.scenario.seed) % zoo.len() as u64) as usize;
+                for i in 0..predecessors {
+                    let model = zoo[(start + i) % zoo.len()];
+                    let (w, h) = model.input_dims();
+                    let run = DpuRunner::new(model)
+                        .with_input(Image::sample_photo(w, h))
+                        .launch(&mut self.kernel, self.scenario.victim_user)
+                        .map_err(runner_error)?;
+                    run.terminate(&mut self.kernel).map_err(runner_error)?;
+                }
+                Ok(())
+            }
+            VictimSchedule::MultiTenant {
+                active_model,
+                warmup_pages,
+            } => {
+                // Fragment the allocator: a warm-up process claims a block of
+                // low frames and releases it again after the active tenant
+                // has started, so the victim's allocation is split across the
+                // hole and fresh frames above the active tenant.
+                let warmup = self.kernel.spawn(self.scenario.victim_user, &["warmup"])?;
+                self.kernel
+                    .grow_heap(warmup, warmup_pages * zynq_dram::PAGE_SIZE)?;
+
+                let active_user = UserId::new(self.scenario.victim_user.as_u32() + 2);
+                let active = DpuRunner::new(active_model)
+                    .launch(&mut self.kernel, active_user)
+                    .map_err(runner_error)?;
+                self.kernel.terminate(warmup)?;
+                self.active_tenant = Some(active);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stage 2: launches the victim model on the booted board.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the launch.
+    pub fn launch_victim(&mut self) -> Result<LaunchedRun, AttackError> {
+        DpuRunner::new(self.scenario.model)
+            .with_input(self.scenario.input.clone())
+            .launch(&mut self.kernel, self.scenario.victim_user)
+            .map_err(runner_error)
+    }
+
+    /// Stage 3: the attacker observes `victim`, the victim terminates, the
+    /// attacker scrapes and analyses, and the result is scored against
+    /// ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attack errors (permission denials under confined isolation,
+    /// translation failures, …).
+    pub fn run_attack(&mut self, victim: LaunchedRun) -> Result<ScenarioOutcome, AttackError> {
+        let mut debugger = DebugSession::connect(self.scenario.attacker_user);
+
+        let observation = self
+            .pipeline
+            .poll_and_observe(&mut debugger, &self.kernel)?;
+        let ground_truth = victim.terminate(&mut self.kernel).map_err(runner_error)?;
+        let scrub_report = self.kernel.scrub_reports().last().cloned();
+
+        let attack = self
+            .pipeline
+            .execute(&mut debugger, &self.kernel, &observation)?;
+
+        let collateral_bytes = self
+            .kernel
+            .scrub_reports()
+            .iter()
+            .map(|r| r.collateral_bytes)
+            .sum();
+        let active_tenant_intact = match &self.active_tenant {
+            Some(active) => Some(self.active_tenant_data_intact(active)?),
+            None => None,
+        };
+
+        Ok(ScenarioOutcome {
+            attack,
+            ground_truth,
+            scrub_report,
+            residue_frames_after: self.kernel.residue_frame_count(),
+            denied_operations: debugger.audit().denied_count(),
+            collateral_bytes,
+            active_tenant_intact,
+        })
+    }
+
+    /// Ground truth for the co-resident tenant: is its input image still
+    /// intact in its own (still mapped) heap?
+    fn active_tenant_data_intact(&self, active: &LaunchedRun) -> Result<bool, AttackError> {
+        let layout = active.layout();
+        let expected = active.input_image().as_bytes();
+        let mut live = vec![0u8; expected.len()];
+        let heap_base = self.kernel.process(active.pid())?.heap_base();
+        self.kernel.read_process_memory(
+            active.pid(),
+            heap_base + layout.image_offset,
+            &mut live,
+        )?;
+        Ok(live == expected)
+    }
+
+    /// Drives stages 2–3 back to back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates launch and attack errors.
+    pub fn run(mut self) -> Result<ScenarioOutcome, AttackError> {
+        let victim = self.launch_victim()?;
+        self.run_attack(victim)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +614,8 @@ mod tests {
         assert!(outcome.scrub_report().unwrap().leaves_residue());
         assert_eq!(outcome.ground_truth().model(), ModelKind::Resnet50Pt);
         assert!(outcome.attack().timings.total() > std::time::Duration::ZERO);
+        assert!(outcome.active_tenant_intact().is_none());
+        assert_eq!(outcome.collateral_bytes(), 0);
     }
 
     #[test]
@@ -348,5 +674,77 @@ mod tests {
         assert!(outcome.model_identification_correct());
         // Sentinel input: recovered exactly, via the profiled offset.
         assert!(outcome.pixel_recovery_rate() > 0.99);
+    }
+
+    #[test]
+    fn stages_run_separately_and_match_one_shot_execute() {
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_corrupted_input();
+        let mut booted = scenario.boot().unwrap();
+        assert!(booted.active_tenant().is_none());
+        assert!(!booted.pipeline().profiles().is_empty());
+        let victim = booted.launch_victim().unwrap();
+        assert!(booted.kernel().process(victim.pid()).unwrap().is_running());
+        let staged = booted.run_attack(victim).unwrap();
+
+        let one_shot = scenario.execute().unwrap();
+        assert_eq!(staged.metrics(), one_shot.metrics());
+    }
+
+    #[test]
+    fn sequential_traffic_schedule_still_recovers_the_victim() {
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::Resnet50Pt)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::SequentialTraffic { predecessors: 2 })
+            .with_seed(7);
+        assert_eq!(
+            scenario.schedule(),
+            VictimSchedule::SequentialTraffic { predecessors: 2 }
+        );
+        let outcome = scenario.execute().unwrap();
+        assert!(outcome.model_identification_correct());
+        assert!(outcome.pixel_recovery_rate() > 0.99);
+        // Predecessor residue stays behind on an unsanitized board.
+        let single = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::Resnet50Pt)
+            .with_corrupted_input()
+            .execute()
+            .unwrap();
+        assert!(outcome.residue_frames_after() >= single.residue_frames_after());
+        // Same seed replays the same traffic.
+        let replay = scenario.execute().unwrap();
+        assert_eq!(outcome.metrics(), replay.metrics());
+    }
+
+    #[test]
+    fn multi_tenant_schedule_reports_co_tenant_state() {
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::MultiTenant {
+                active_model: ModelKind::MobileNetV2,
+                warmup_pages: 16,
+            });
+        let outcome = scenario.execute().unwrap();
+        // No sanitization: the attack succeeds and the co-tenant is intact.
+        assert!(outcome.model_identification_correct());
+        assert_eq!(outcome.active_tenant_intact(), Some(true));
+        assert_eq!(outcome.collateral_bytes(), 0);
+    }
+
+    #[test]
+    fn schedule_display_names() {
+        assert_eq!(VictimSchedule::Single.to_string(), "single");
+        assert_eq!(
+            VictimSchedule::SequentialTraffic { predecessors: 3 }.to_string(),
+            "sequential-traffic(3)"
+        );
+        assert_eq!(
+            VictimSchedule::MultiTenant {
+                active_model: ModelKind::YoloV3,
+                warmup_pages: 16
+            }
+            .to_string(),
+            "multi-tenant(yolov3)"
+        );
+        assert_eq!(VictimSchedule::default(), VictimSchedule::Single);
     }
 }

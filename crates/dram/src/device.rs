@@ -152,11 +152,18 @@ impl Dram {
     /// Returns [`DramError::OutOfRange`] if any byte falls outside the window.
     pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), DramError> {
         self.check_range(addr, buf.len() as u64)?;
-        for (i, slot) in buf.iter_mut().enumerate() {
-            let a = addr + i as u64;
-            let idx = self.frame_index(a);
+        // One frame lookup per touched page, bulk-copying page-sized chunks.
+        let mut cursor = 0usize;
+        while cursor < buf.len() {
+            let a = addr + cursor as u64;
             let offset = a.page_offset() as usize;
-            *slot = self.frames.get(&idx).map(|f| f[offset]).unwrap_or(0);
+            let chunk = (PAGE_SIZE as usize - offset).min(buf.len() - cursor);
+            let dst = &mut buf[cursor..cursor + chunk];
+            match self.frames.get(&self.frame_index(a)) {
+                Some(frame) => dst.copy_from_slice(&frame[offset..offset + chunk]),
+                None => dst.fill(0),
+            }
+            cursor += chunk;
         }
         Ok(())
     }
@@ -231,12 +238,17 @@ impl Dram {
         owner: OwnerTag,
     ) -> Result<(), DramError> {
         self.check_range(addr, data.len() as u64)?;
-        for (i, byte) in data.iter().enumerate() {
-            let a = addr + i as u64;
+        // One frame materialization + ownership tag per touched page.
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let a = addr + cursor as u64;
             let idx = self.frame_index(a);
             let offset = a.page_offset() as usize;
-            self.frame_mut(idx)[offset] = *byte;
+            let chunk = (PAGE_SIZE as usize - offset).min(data.len() - cursor);
+            self.frame_mut(idx)[offset..offset + chunk]
+                .copy_from_slice(&data[cursor..cursor + chunk]);
             self.tag_frame(idx, owner);
+            cursor += chunk;
         }
         self.stats.record_write(data.len() as u64);
         Ok(())
@@ -287,12 +299,15 @@ impl Dram {
         owner: OwnerTag,
     ) -> Result<(), DramError> {
         self.check_range(addr, len)?;
-        for i in 0..len {
-            let a = addr + i;
+        let mut cursor = 0u64;
+        while cursor < len {
+            let a = addr + cursor;
             let idx = self.frame_index(a);
             let offset = a.page_offset() as usize;
-            self.frame_mut(idx)[offset] = byte;
+            let chunk = (PAGE_SIZE - offset as u64).min(len - cursor) as usize;
+            self.frame_mut(idx)[offset..offset + chunk].fill(byte);
             self.tag_frame(idx, owner);
+            cursor += chunk as u64;
         }
         self.stats.record_write(len);
         Ok(())
@@ -307,31 +322,30 @@ impl Dram {
     /// Returns [`DramError::OutOfRange`] if the range leaves the window.
     pub fn scrub_range(&mut self, addr: PhysAddr, len: u64) -> Result<(), DramError> {
         self.check_range(addr, len)?;
-        for i in 0..len {
-            let a = addr + i;
+        // One pass, page-sized chunks: zero the covered slice of each
+        // materialized frame, then drop the ownership record of every frame
+        // left entirely zero (row- or bank-granular sanitizers clear a frame
+        // across several sub-page calls; the attribution should disappear
+        // once nothing of the owner's data remains).
+        let mut cursor = 0u64;
+        while cursor < len {
+            let a = addr + cursor;
             let idx = self.frame_index(a);
             let offset = a.page_offset() as usize;
-            if let Some(frame) = self.frames.get_mut(&idx) {
-                frame[offset] = 0;
-            }
-        }
-        // Drop ownership for every touched frame that no longer holds any
-        // data (row- or bank-granular sanitizers clear a frame across several
-        // sub-page calls; the attribution should disappear once nothing of
-        // the owner's data remains).
-        if len > 0 {
-            let first = self.frame_index(addr);
-            let last = self.frame_index(addr + (len - 1));
-            for idx in first..=last {
-                let empty = self
-                    .frames
-                    .get(&idx)
-                    .map(|frame| frame.iter().all(|&b| b == 0))
-                    .unwrap_or(true);
-                if empty {
-                    self.ownership.remove(&idx);
+            let chunk = (PAGE_SIZE - offset as u64).min(len - cursor) as usize;
+            let empty = match self.frames.get_mut(&idx) {
+                Some(frame) => {
+                    frame[offset..offset + chunk].fill(0);
+                    // A fully covered frame is empty by construction; a
+                    // partially covered one must be scanned.
+                    chunk == PAGE_SIZE as usize || frame.iter().all(|&b| b == 0)
                 }
+                None => true,
+            };
+            if empty {
+                self.ownership.remove(&idx);
             }
+            cursor += chunk as u64;
         }
         self.stats.record_scrub(len);
         Ok(())
