@@ -9,8 +9,9 @@
 //!
 //! Flags: `--fig4` … `--fig12`, `--timing` (TAB-A), `--defenses` (TAB-B),
 //! `--fingerprint` (TAB-C), `--aslr` (TAB-D), `--boards` (TAB-E),
-//! `--multitenant` (TAB-F), `--campaign` (fleet-scale matrix summary),
-//! `--all`.
+//! `--multitenant` (TAB-F), `--revival` (Resurrection-style pid/frame reuse
+//! per sanitize policy, two boards), `--livetraffic` (residue decay vs. live
+//! churn depth), `--campaign` (fleet-scale matrix summary), `--all`.
 //!
 //! Modifiers: `--tiny` runs the matrix tables on the small test board (the
 //! CI smoke configuration); `--jobs=N` caps the campaign worker pool.
@@ -23,12 +24,12 @@ use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::campaign::{CampaignSpec, InputKind};
 use msa_core::defense::{
-    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
+    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant, evaluate_revival,
     evaluate_sanitize_policies,
 };
 use msa_core::profile::Profiler;
 use msa_core::report::{bytes, percent, TextTable};
-use msa_core::ScrapeMode;
+use msa_core::{ScrapeMode, VictimSchedule};
 use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, Shell};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
 use zynq_dram::SanitizePolicy;
@@ -50,6 +51,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "--aslr",
     "--boards",
     "--multitenant",
+    "--revival",
+    "--livetraffic",
     "--campaign",
     "--tiny",
 ];
@@ -156,6 +159,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if options.want("--multitenant") {
         multitenant(&options)?;
+    }
+    if options.want("--revival") {
+        revival(&options)?;
+    }
+    if options.want("--livetraffic") {
+        livetraffic(&options)?;
     }
     if options.want("--campaign") {
         campaign(&options)?;
@@ -468,6 +477,107 @@ fn multitenant(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             row.victim_model_identified.to_string(),
             bytes(row.active_tenant_bytes_clobbered),
             row.active_tenant_data_intact.to_string(),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// Residue-lifetime table 1: the Resurrection-style revival window per
+/// sanitize policy, on two boards (paper boards by default, two tiny
+/// allocation-order variants under `--tiny` so the CI smoke stays fast).
+fn revival(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== REVIVAL: residue inherited by pid/frame reuse (victim: resnet50_pt) ===");
+    let boards: Vec<(&str, BoardConfig)> = if options.tiny {
+        vec![
+            ("tiny", BoardConfig::tiny_for_tests()),
+            (
+                "tiny-fifo",
+                BoardConfig::tiny_for_tests()
+                    .with_allocation_order(zynq_mmu::AllocationOrder::FifoReuse),
+            ),
+        ]
+    } else {
+        vec![
+            ("ZCU104", BoardConfig::zcu104()),
+            ("ZCU102", BoardConfig::zcu102()),
+        ]
+    };
+    let mut table = TextTable::new(vec![
+        "board",
+        "policy",
+        "victim frames",
+        "revived frames",
+        "inherited",
+        "inheritance rate",
+        "lost before scrape",
+        "model identified",
+        "pixel recovery",
+    ]);
+    for (name, board) in boards {
+        for row in evaluate_revival(board, ModelKind::Resnet50Pt)? {
+            table.add_row(vec![
+                name.to_string(),
+                row.policy.to_string(),
+                row.victim_frames.to_string(),
+                row.revived_heap_frames.to_string(),
+                row.inherited_frames.to_string(),
+                percent(row.inheritance_rate),
+                row.frames_lost_before_scrape.to_string(),
+                row.model_identified.to_string(),
+                percent(row.pixel_recovery),
+            ]);
+        }
+    }
+    println!("{table}");
+    Ok(())
+}
+
+/// Residue-lifetime table 2: scrape-coverage decay under live tenant churn.
+///
+/// Each churn depth runs as its own single-cell campaign with the *same*
+/// campaign seed, so every row plays the identical tenant-model rotation and
+/// the only thing varying down the table is how much churn the scrape
+/// overlaps — the controlled decay sweep.
+fn livetraffic(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== LIVE TRAFFIC: residue decay vs. churn depth (victim: resnet50_pt) ===");
+    let mut table = TextTable::new(vec![
+        "schedule",
+        "churn events",
+        "victim frames",
+        "lost before scrape",
+        "residue survival",
+        "dump coverage",
+        "model identified",
+        "pixel recovery",
+    ]);
+    for churn_rate in [0usize, 1, 2, 4] {
+        let report = options
+            .capped(
+                CampaignSpec::new(options.board_name(), options.board())
+                    .with_inputs(vec![InputKind::Corrupted])
+                    .with_schedules(vec![VictimSchedule::LiveTraffic {
+                        tenants: 2,
+                        churn_rate,
+                    }])
+                    // A rotation whose tenant sizes step up gradually, so the
+                    // decay curve is visible rather than saturating on the
+                    // first churn event.
+                    .with_seed(41),
+            )
+            .run()?;
+        let record = &report.cells()[0];
+        let metrics = record.metrics.as_ref().expect("permissive cells complete");
+        let lifetime = metrics.residue_lifetime;
+        table.add_row(vec![
+            record.cell.schedule.to_string(),
+            lifetime.churn_events.to_string(),
+            lifetime.victim_frames.to_string(),
+            lifetime.frames_lost_before_scrape.to_string(),
+            percent(lifetime.survival_rate()),
+            percent(metrics.dump_coverage),
+            metrics.model_identified.to_string(),
+            percent(metrics.pixel_recovery),
         ]);
     }
     println!("{table}");

@@ -1,0 +1,106 @@
+//! Golden-output pin for the experiments binary.
+//!
+//! PR 2 established that the campaign-backed tables are byte-identical to the
+//! hand-rolled sweeps they replaced — but that guarantee was only ever checked
+//! by hand.  This test pins the full `experiments --timing --defenses --tiny`
+//! stdout (the CI smoke invocation) against a checked-in golden file, so any
+//! change to table content, formatting or experiment math shows up as a diff.
+//!
+//! Wall-clock durations are the only run-dependent content; the normalizer
+//! replaces duration tokens with `<T>` and collapses the alignment whitespace
+//! they stretch, leaving every deterministic number pinned exactly.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p msa-bench --test golden_experiments
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+/// `true` for tokens like `12ns`, `504.49µs`, `1.63ms`, `2s` — the `{:?}`
+/// rendering of a `std::time::Duration`.
+fn is_duration_token(token: &str) -> bool {
+    for suffix in ["ns", "µs", "ms", "s"] {
+        if let Some(value) = token.strip_suffix(suffix) {
+            if !value.is_empty() && value.parse::<f64>().is_ok() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Normalizes run-dependent content: duration tokens become `<T>`, column
+/// padding (which stretches with duration widths) collapses to single spaces,
+/// and all-dash separator rules collapse to `---`.
+fn normalize(raw: &str) -> String {
+    let mut out: Vec<String> = Vec::new();
+    for line in raw.lines() {
+        let tokens: Vec<String> = line
+            .split_whitespace()
+            .map(|token| {
+                if !token.is_empty() && token.chars().all(|c| c == '-') {
+                    "---".to_string()
+                } else if is_duration_token(token) {
+                    "<T>".to_string()
+                } else {
+                    token.to_string()
+                }
+            })
+            .collect();
+        out.push(tokens.join(" "));
+    }
+    let mut joined = out.join("\n");
+    joined.push('\n');
+    joined
+}
+
+#[test]
+fn tiny_timing_defenses_stdout_is_pinned() {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--timing", "--defenses", "--tiny"])
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "experiments exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("stdout is UTF-8");
+    let normalized = normalize(&stdout);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/experiments_tiny_timing_defenses.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &normalized).expect("golden file written");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect(
+        "golden file exists — regenerate with UPDATE_GOLDEN=1 cargo test -p msa-bench \
+         --test golden_experiments",
+    );
+    assert_eq!(
+        normalized, golden,
+        "experiments --timing --defenses --tiny stdout drifted from the golden file; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn normalizer_masks_only_durations_and_rules() {
+    assert!(is_duration_token("12ns"));
+    assert!(is_duration_token("504.49µs"));
+    assert!(is_duration_token("1.63ms"));
+    assert!(is_duration_token("2s"));
+    assert!(!is_duration_token("frames"));
+    assert!(!is_duration_token("6.5MiB"));
+    assert!(!is_duration_token("100.0%"));
+    assert!(!is_duration_token("s"));
+    assert_eq!(
+        normalize("step   wall-clock\n----  ------\n1. poll  12.3µs\n"),
+        "step wall-clock\n--- ---\n1. poll <T>\n"
+    );
+}

@@ -1,6 +1,6 @@
 //! The attack pipeline: the paper's four steps as a composable API.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use petalinux_sim::{Kernel, Pid};
 use serde::{Deserialize, Serialize};
@@ -316,6 +316,38 @@ impl AttackPipeline {
         }
     }
 
+    /// Step 4 plus outcome assembly: analyses `dump` (timing the analysis)
+    /// and folds it with the observation's partial timings and the caller's
+    /// scrape duration into a full [`AttackOutcome`].
+    ///
+    /// Used by [`AttackPipeline::execute`] and by schedule-driven scrapers
+    /// (live-traffic churn) that produce the dump themselves.
+    pub fn score_dump(
+        &self,
+        observation: &Observation,
+        dump: &MemoryDump,
+        scrape_elapsed: Duration,
+    ) -> AttackOutcome {
+        let analyze_start = Instant::now();
+        let analysis = self.analyze(dump);
+        let analyze_elapsed = analyze_start.elapsed();
+
+        AttackOutcome {
+            victim_pid: observation.pid(),
+            identified: analysis.identified,
+            marker_runs: analysis.marker_runs,
+            reconstructed_image: analysis.reconstructed_image,
+            image_offset_used: analysis.image_offset_used,
+            bytes_scraped: dump.len(),
+            dump_coverage: dump.coverage(),
+            timings: observation
+                .timings
+                .with_scrape(scrape_elapsed)
+                .with_analyze(analyze_elapsed)
+                .build(),
+        }
+    }
+
     /// Steps 3–4: scrape the terminated victim and analyse the dump,
     /// producing the full [`AttackOutcome`] with timings.
     ///
@@ -331,25 +363,7 @@ impl AttackPipeline {
         let scrape_start = Instant::now();
         let dump = self.scrape_after_termination(debugger, kernel, observation)?;
         let scrape_elapsed = scrape_start.elapsed();
-
-        let analyze_start = Instant::now();
-        let analysis = self.analyze(&dump);
-        let analyze_elapsed = analyze_start.elapsed();
-
-        Ok(AttackOutcome {
-            victim_pid: observation.pid(),
-            identified: analysis.identified,
-            marker_runs: analysis.marker_runs,
-            reconstructed_image: analysis.reconstructed_image,
-            image_offset_used: analysis.image_offset_used,
-            bytes_scraped: dump.len(),
-            dump_coverage: dump.coverage(),
-            timings: observation
-                .timings
-                .with_scrape(scrape_elapsed)
-                .with_analyze(analyze_elapsed)
-                .build(),
-        })
+        Ok(self.score_dump(observation, &dump, scrape_elapsed))
     }
 }
 

@@ -524,6 +524,14 @@ pub struct GroupStats {
     pub mean_pixel_recovery: f64,
     /// Total residue frames left across the group.
     pub residue_frames: usize,
+    /// Total victim residue frames lost (overwritten, re-allocated or
+    /// scrubbed) before the scrape could read them.
+    pub residue_frames_lost: usize,
+    /// Total residue frames inherited by revived successor processes.
+    pub revival_inherited_frames: usize,
+    /// Mean revival inheritance rate across the group (cells without a
+    /// revival schedule count as 0).
+    pub mean_revival_inheritance: f64,
 }
 
 impl GroupStats {
@@ -540,11 +548,18 @@ impl GroupStats {
         }
         self.mean_pixel_recovery += record.pixel_recovery();
         self.residue_frames += record.metrics.as_ref().map_or(0, |m| m.residue_frames);
+        if let Some(metrics) = &record.metrics {
+            let lifetime = metrics.residue_lifetime;
+            self.residue_frames_lost += lifetime.frames_lost_before_scrape;
+            self.revival_inherited_frames += lifetime.revival_inherited_frames;
+            self.mean_revival_inheritance += lifetime.inheritance_rate();
+        }
     }
 
     fn finalize(&mut self) {
         if self.cells > 0 {
             self.mean_pixel_recovery /= self.cells as f64;
+            self.mean_revival_inheritance /= self.cells as f64;
         }
     }
 
@@ -788,6 +803,47 @@ mod tests {
             .filter_map(CellRecord::blocked_step)
             .collect();
         assert_eq!(blocked.len(), 2);
+    }
+
+    #[test]
+    fn residue_lifetime_schedules_compose_with_the_sanitize_axis() {
+        let report = tiny_spec()
+            .with_models(vec![ModelKind::SqueezeNet])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::ZeroOnFree])
+            .with_schedules(vec![
+                VictimSchedule::Revival {
+                    successors: 1,
+                    reuse_pid: true,
+                },
+                VictimSchedule::LiveTraffic {
+                    tenants: 1,
+                    churn_rate: 2,
+                },
+            ])
+            .with_jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.len(), 4);
+
+        // Expansion order: sanitize varies slower than schedule.
+        let lifetime = |i: usize| report.cells()[i].metrics.as_ref().unwrap().residue_lifetime;
+        // Unsanitized revival: the successor inherited victim residue.
+        assert!(lifetime(0).revival_inherited_frames > 0);
+        // Unsanitized live traffic: churn ran during the scrape.
+        assert!(lifetime(1).churn_events > 0);
+        // Zero-on-free: revival inherits nothing — the defense closes the
+        // resurrection window.
+        assert_eq!(lifetime(2).revival_inherited_frames, 0);
+        assert_eq!(lifetime(2).inheritance_rate(), 0.0);
+
+        // Aggregation surfaces the same story per schedule group.
+        let by_schedule = report.group_by(|r| r.cell.schedule.to_string());
+        let revival = &by_schedule["revival(1,reuse-pid)"];
+        assert!(revival.revival_inherited_frames > 0);
+        assert!(revival.mean_revival_inheritance > 0.0);
+        let live = &by_schedule["live-traffic(1,churn=2)"];
+        assert_eq!(live.revival_inherited_frames, 0);
     }
 
     #[test]

@@ -199,6 +199,76 @@ pub fn evaluate_layout_randomization(
         .collect()
 }
 
+/// One row of the revival (Resurrection-style) sweep: what a sanitization
+/// policy leaves for a successor process that re-allocates the victim's pid
+/// and frames before the scrape runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RevivalRow {
+    /// The policy under test.
+    pub policy: SanitizePolicy,
+    /// Residue frames the victim left at termination.
+    pub victim_frames: usize,
+    /// Heap frames of the revived successor process.
+    pub revived_heap_frames: usize,
+    /// Of those, frames that still held residue when the revived process
+    /// first read them.
+    pub inherited_frames: usize,
+    /// `inherited_frames / revived_heap_frames`.
+    pub inheritance_rate: f64,
+    /// Victim residue frames overwritten or scrubbed before the scrape.
+    pub frames_lost_before_scrape: usize,
+    /// Whether the late-arriving attacker still identified the victim model.
+    pub model_identified: bool,
+    /// Fraction of input pixels the late attacker still recovered.
+    pub pixel_recovery: f64,
+}
+
+/// Sweeps every sanitization policy through a Resurrection-style revival:
+/// the victim terminates, a successor re-allocates its pid and frames, and
+/// only then does the attacker scrape.
+///
+/// Two quantities come out: how much residue the *revived process* inherits
+/// at allocation time (the Resurrection Attack's channel), and how much the
+/// *attacker* still finds once the revival has overwritten the frames (the
+/// paper's channel, measured one tenant-lifetime too late).
+///
+/// # Errors
+///
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel.
+pub fn evaluate_revival(
+    board: BoardConfig,
+    model: ModelKind,
+) -> Result<Vec<RevivalRow>, AttackError> {
+    let report = CampaignSpec::new("revival-sweep", board)
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(swept_policies())
+        .with_schedules(vec![VictimSchedule::Revival {
+            successors: 1,
+            reuse_pid: true,
+        }])
+        .run()?;
+    report
+        .cells()
+        .iter()
+        .map(|record| {
+            let metrics = completed_metrics(record)?;
+            let lifetime = metrics.residue_lifetime;
+            Ok(RevivalRow {
+                policy: record.cell.sanitize,
+                victim_frames: lifetime.victim_frames,
+                revived_heap_frames: lifetime.revived_heap_frames,
+                inherited_frames: lifetime.revival_inherited_frames,
+                inheritance_rate: lifetime.inheritance_rate(),
+                frames_lost_before_scrape: lifetime.frames_lost_before_scrape,
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
+            })
+        })
+        .collect()
+}
+
 /// One row of the multi-tenant sweep (TAB-F): what a sanitization policy does
 /// to a *co-resident, still-running* tenant when another tenant terminates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -401,6 +471,65 @@ mod tests {
             })
             .unwrap();
         assert!(aslr_row.pixel_recovery > 0.99);
+    }
+
+    #[test]
+    fn revival_sweep_quantifies_the_resurrection_window() {
+        let rows = evaluate_revival(board(), ModelKind::SqueezeNet).unwrap();
+        assert_eq!(rows.len(), 6);
+        let by_policy = |p: SanitizePolicy| rows.iter().find(|r| r.policy == p).unwrap();
+
+        // No sanitization: the revived process inherits victim residue, and
+        // its overwrite destroys what the attacker came for.
+        let none = by_policy(SanitizePolicy::None);
+        assert!(none.victim_frames > 0);
+        assert!(none.inherited_frames > 0);
+        assert!(none.inheritance_rate > 0.0);
+        assert!(none.frames_lost_before_scrape > 0);
+        assert!(!none.model_identified);
+
+        // Every frame-exact scrubbing policy drives revival inheritance to
+        // zero — this is the acceptance bar for the defense.
+        for policy in [
+            SanitizePolicy::ZeroOnFree,
+            SanitizePolicy::RowClone,
+            SanitizePolicy::SelectiveScrub,
+        ] {
+            let row = by_policy(policy);
+            assert_eq!(
+                row.inherited_frames, 0,
+                "{policy} must close the resurrection window"
+            );
+            assert_eq!(row.inheritance_rate, 0.0);
+            assert_eq!(row.victim_frames, 0);
+        }
+
+        // RowReset is bank-granular: on the interleaved DDR4 geometry a
+        // frame's base always decomposes to bank group 0, so only that
+        // stripe of each frame is reset and the other bank groups' columns
+        // survive — the revived process still inherits partial residue.
+        // (Another face of the paper's argument that bulk DRAM schemes are a
+        // poor fit for frame-granular sanitization.)
+        let rowreset = by_policy(SanitizePolicy::RowReset);
+        assert!(rowreset.victim_frames > 0);
+        assert!(rowreset.inherited_frames > 0);
+
+        // A long-delay background scrubber leaves the window open: the
+        // revived process still inherits inside the delay.
+        let background = rows
+            .iter()
+            .find(|r| matches!(r.policy, SanitizePolicy::Background { .. }))
+            .unwrap();
+        assert!(background.inherited_frames > 0);
+    }
+
+    #[test]
+    fn revival_sweep_on_a_confined_board_errors() {
+        let confined = board().with_isolation(IsolationPolicy::Confined);
+        assert!(matches!(
+            evaluate_revival(confined, ModelKind::SqueezeNet),
+            Err(AttackError::Blocked { .. })
+        ));
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub use dump::MemoryDump;
 pub use error::AttackError;
 pub use metrics::{AttackOutcome, StepTimings};
 pub use profile::{ModelProfile, ProfileDatabase, Profiler};
-pub use scenario::{AttackScenario, ScenarioMetrics, ScenarioOutcome, VictimSchedule};
+pub use scenario::{
+    AttackScenario, ResidueLifetime, ScenarioMetrics, ScenarioOutcome, VictimSchedule,
+};
 pub use signature::{ModelMatch, SignatureDb};
 pub use translate::HeapTranslation;

@@ -17,13 +17,18 @@
 //! [`AttackScenario::execute`] drives all three stages back to back, so
 //! single-shot callers keep their one-line API.
 
-use petalinux_sim::{BoardConfig, Kernel, UserId};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use petalinux_sim::{BoardConfig, Kernel, Pid, UserId};
 use serde::{Deserialize, Serialize};
+use vitis_ai_sim::runner::heap_image;
 use vitis_ai_sim::{CompletedRun, DpuRunner, Image, LaunchedRun, ModelKind, RunnerError};
 use xsdb::DebugSession;
-use zynq_dram::ScrubReport;
+use zynq_dram::{FrameNumber, PhysAddr, ScrubReport, PAGE_SIZE};
 
-use crate::attack::{AttackConfig, AttackPipeline};
+use crate::attack::{AttackConfig, AttackPipeline, Observation, ScrapeMode};
+use crate::dump::MemoryDump;
 use crate::error::AttackError;
 use crate::metrics::AttackOutcome;
 use crate::profile::{ProfileDatabase, Profiler};
@@ -34,13 +39,16 @@ fn runner_error(e: RunnerError) -> AttackError {
     }
 }
 
-/// How victim traffic is scheduled on the booted board before (and around)
-/// the attacked process.
+/// How victim traffic is scheduled on the booted board before, around and
+/// *after* the attacked process.
 ///
 /// This is a first-class campaign axis: the paper's single-victim procedure
 /// is [`VictimSchedule::Single`], fleet-style sequential tenant churn is
-/// [`VictimSchedule::SequentialTraffic`], and the multi-tenant collateral
-/// experiment (TAB-F) is [`VictimSchedule::MultiTenant`].
+/// [`VictimSchedule::SequentialTraffic`], the multi-tenant collateral
+/// experiment (TAB-F) is [`VictimSchedule::MultiTenant`], Resurrection-style
+/// pid/frame reuse between termination and scrape is
+/// [`VictimSchedule::Revival`], and live memory pressure *during* the scrape
+/// is [`VictimSchedule::LiveTraffic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 #[derive(Default)]
@@ -69,6 +77,40 @@ pub enum VictimSchedule {
         /// warm-up process.
         warmup_pages: u64,
     },
+    /// Resurrection-style revival: after the victim terminates — but before
+    /// the attacker scrapes — `successors` new processes launch, re-allocate
+    /// the victim's freed frames (and, with `reuse_pid`, its pid), read the
+    /// residue they inherit, then overwrite it with their own heap images.
+    ///
+    /// This measures both sides of the revival window: how much exploitable
+    /// residue a revived process inherits at allocation time, and how much
+    /// of the victim's residue survives for the attacker once successors
+    /// have run.
+    Revival {
+        /// Number of successor processes launched (and terminated) between
+        /// the victim's termination and the scrape.  Which models they run
+        /// is derived deterministically from the scenario seed.
+        successors: usize,
+        /// Whether the first successor reuses the victim's pid (the
+        /// Resurrection Attack's most dangerous configuration).
+        reuse_pid: bool,
+    },
+    /// Live background traffic: `tenants` co-resident model processes stay
+    /// running while the attack scrapes, and between scraped chunks each of
+    /// `churn_rate` churn events terminates the oldest tenant and launches a
+    /// replacement — re-allocating freed frames (the victim's included)
+    /// *while* the attacker reads them.
+    ///
+    /// Churn is interleaved deterministically with the scrape at page-chunk
+    /// granularity and sequenced by the scenario seed, never by wall clock,
+    /// so campaigns over this schedule stay replayable.
+    LiveTraffic {
+        /// Number of co-resident tenant processes kept running.
+        tenants: usize,
+        /// Churn events (tenant terminate + relaunch) executed between
+        /// consecutive scraped chunks.
+        churn_rate: usize,
+    },
 }
 
 impl std::fmt::Display for VictimSchedule {
@@ -81,6 +123,71 @@ impl std::fmt::Display for VictimSchedule {
             VictimSchedule::MultiTenant { active_model, .. } => {
                 write!(f, "multi-tenant({active_model})")
             }
+            VictimSchedule::Revival {
+                successors,
+                reuse_pid,
+            } => {
+                if *reuse_pid {
+                    write!(f, "revival({successors},reuse-pid)")
+                } else {
+                    write!(f, "revival({successors})")
+                }
+            }
+            VictimSchedule::LiveTraffic {
+                tenants,
+                churn_rate,
+            } => {
+                write!(f, "live-traffic({tenants},churn={churn_rate})")
+            }
+        }
+    }
+}
+
+/// Residue-lifetime measurements of one scenario: how long the victim's
+/// residue actually survived between termination and the scrape, and what a
+/// revived process inherited from it.
+///
+/// All counts are deterministic ground truth taken from the kernel's frame
+/// ownership records at fixed points of the schedule, so they are part of the
+/// campaign engine's worker-count-independent comparison surface.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResidueLifetime {
+    /// Residue frames the victim left in DRAM at the moment of termination
+    /// (zero on boards whose sanitize policy scrubs eagerly).
+    pub victim_frames: usize,
+    /// Victim residue frames that were overwritten, re-allocated or scrubbed
+    /// before the attacker read them — the part of the residue the scrape
+    /// arrived too late for.
+    pub frames_lost_before_scrape: usize,
+    /// Heap frames of the first revived successor process
+    /// (zero outside [`VictimSchedule::Revival`]).
+    pub revived_heap_frames: usize,
+    /// Of those, frames that still held non-zero residue when the revived
+    /// process first read its freshly allocated heap.
+    pub revival_inherited_frames: usize,
+    /// Tenant churn events executed while the scrape was in progress
+    /// (zero outside [`VictimSchedule::LiveTraffic`]).
+    pub churn_events: usize,
+}
+
+impl ResidueLifetime {
+    /// Fraction of the revived process's heap frames that arrived holding
+    /// residue (0.0 when no revival ran or nothing was inherited).
+    pub fn inheritance_rate(&self) -> f64 {
+        if self.revived_heap_frames == 0 {
+            0.0
+        } else {
+            self.revival_inherited_frames as f64 / self.revived_heap_frames as f64
+        }
+    }
+
+    /// Fraction of the victim's residue frames that still held victim data
+    /// when the attacker read them (0.0 when no residue existed at all).
+    pub fn survival_rate(&self) -> f64 {
+        if self.victim_frames == 0 {
+            0.0
+        } else {
+            1.0 - self.frames_lost_before_scrape as f64 / self.victim_frames as f64
         }
     }
 }
@@ -96,6 +203,7 @@ pub struct ScenarioOutcome {
     denied_operations: usize,
     collateral_bytes: u64,
     active_tenant_intact: Option<bool>,
+    residue_lifetime: ResidueLifetime,
 }
 
 impl ScenarioOutcome {
@@ -132,10 +240,17 @@ impl ScenarioOutcome {
         self.collateral_bytes
     }
 
-    /// Whether the co-resident tenant's input survived intact in its own
-    /// heap (`None` outside [`VictimSchedule::MultiTenant`]).
+    /// Whether the co-resident tenants' inputs survived intact in their own
+    /// heaps (`None` outside [`VictimSchedule::MultiTenant`] and
+    /// [`VictimSchedule::LiveTraffic`]).
     pub fn active_tenant_intact(&self) -> Option<bool> {
         self.active_tenant_intact
+    }
+
+    /// Residue-lifetime measurements (revival inheritance, scrape-time
+    /// residue loss, churn depth).
+    pub fn residue_lifetime(&self) -> ResidueLifetime {
+        self.residue_lifetime
     }
 
     /// The model the attack identified, if any.
@@ -174,6 +289,7 @@ impl ScenarioOutcome {
             scrub_cost_cycles: self.scrub_report.as_ref().map_or(0.0, |r| r.cost_cycles),
             collateral_bytes: self.collateral_bytes,
             active_tenant_intact: self.active_tenant_intact,
+            residue_lifetime: self.residue_lifetime,
         }
     }
 }
@@ -209,9 +325,12 @@ pub struct ScenarioMetrics {
     /// Live owners' bytes destroyed by sanitizer runs (summed over every
     /// scrub on the board).
     pub collateral_bytes: u64,
-    /// Whether the co-resident tenant's data survived
-    /// (`None` outside multi-tenant schedules).
+    /// Whether the co-resident tenants' data survived
+    /// (`None` outside multi-tenant / live-traffic schedules).
     pub active_tenant_intact: Option<bool>,
+    /// Residue-lifetime measurements (revival inheritance, scrape-time
+    /// residue loss, churn depth).
+    pub residue_lifetime: ResidueLifetime,
 }
 
 /// Outcome of a scenario in which the attack could not even complete (e.g.
@@ -391,20 +510,36 @@ impl AttackScenario {
         let profiles = self.resolve_profiles();
 
         let mut config = self.attack_config.clone();
-        if matches!(self.schedule, VictimSchedule::MultiTenant { .. })
-            && config.victim_pattern.is_none()
+        if matches!(
+            self.schedule,
+            VictimSchedule::MultiTenant { .. } | VictimSchedule::LiveTraffic { .. }
+        ) && config.victim_pattern.is_none()
         {
-            // Two model processes run at once; target the victim by name so
-            // polling cannot latch onto the co-resident tenant.
+            // Several model processes run at once; target the victim by name
+            // so polling cannot latch onto a co-resident tenant.
             config.victim_pattern = Some(self.model.name().to_string());
         }
         let pipeline = AttackPipeline::new(config).with_profiles(profiles);
+
+        // The seed-rotated traffic zoo (successors, tenants, churn
+        // replacements), computed once per scenario.  It never includes the
+        // victim's own model, so traffic processes are distinguishable from
+        // the victim by name (and a revival misidentification is a real
+        // misidentification).
+        let mut traffic_zoo: Vec<ModelKind> = ModelKind::all()
+            .into_iter()
+            .filter(|m| *m != self.model)
+            .collect();
+        let start = (splitmix64(self.seed ^ 0x7AFF_1C00) % traffic_zoo.len() as u64) as usize;
+        traffic_zoo.rotate_left(start);
 
         let mut booted = BootedScenario {
             scenario: self,
             kernel: Kernel::boot(self.board),
             pipeline,
-            active_tenant: None,
+            tenants: Vec::new(),
+            traffic_zoo,
+            traffic_cursor: 0,
         };
         booted.play_prologue()?;
         Ok(booted)
@@ -447,6 +582,37 @@ impl AttackScenario {
     }
 }
 
+/// Pages scraped between two churn opportunities under
+/// [`VictimSchedule::LiveTraffic`].
+const CHURN_CHUNK_PAGES: usize = 8;
+
+/// The physical frames currently backing `pid`'s heap, in virtual order.
+fn heap_frames(kernel: &Kernel, pid: Pid) -> Result<Vec<FrameNumber>, AttackError> {
+    let process = kernel.process(pid)?;
+    let space = process.address_space();
+    let mut frames = Vec::new();
+    let mut va = process.heap_base();
+    while va < process.heap_end() {
+        if let Some(pa) = space.translate(va) {
+            frames.push(pa.frame_number());
+        }
+        va += PAGE_SIZE;
+    }
+    Ok(frames)
+}
+
+/// Whether a victim residue frame is no longer available to the attacker: it
+/// was re-allocated to a later process, re-owned by a live one, or scrubbed.
+fn frame_lost(kernel: &Kernel, frame: FrameNumber, reclaimed: &BTreeSet<FrameNumber>) -> bool {
+    if reclaimed.contains(&frame) {
+        return true;
+    }
+    match kernel.dram().frame_ownership(frame) {
+        Some(record) => record.live,
+        None => true,
+    }
+}
+
 /// Stage-1 output: a booted board with the schedule prologue applied, ready
 /// to launch the victim and run the attacker.
 #[derive(Debug)]
@@ -454,7 +620,16 @@ pub struct BootedScenario<'a> {
     scenario: &'a AttackScenario,
     kernel: Kernel,
     pipeline: AttackPipeline,
-    active_tenant: Option<LaunchedRun>,
+    /// Co-resident tenants still running, oldest first (one under
+    /// `MultiTenant`, `tenants` under `LiveTraffic`).
+    tenants: Vec<LaunchedRun>,
+    /// The seed-rotated model zoo traffic processes draw from (victim's own
+    /// model excluded), fixed at boot.
+    traffic_zoo: Vec<ModelKind>,
+    /// Position in the traffic-model rotation (shared by the prologue,
+    /// revival successors and live churn so models never repeat
+    /// back-to-back within a scenario).
+    traffic_cursor: usize,
 }
 
 impl<'a> BootedScenario<'a> {
@@ -468,14 +643,35 @@ impl<'a> BootedScenario<'a> {
         &self.pipeline
     }
 
-    /// The co-resident tenant, when the schedule launched one.
+    /// The first co-resident tenant, when the schedule launched one.
     pub fn active_tenant(&self) -> Option<&LaunchedRun> {
-        self.active_tenant.as_ref()
+        self.tenants.first()
+    }
+
+    /// All co-resident tenants currently running, oldest first.
+    pub fn tenants(&self) -> &[LaunchedRun] {
+        &self.tenants
+    }
+
+    /// The `index`-th model of the scenario's deterministic traffic rotation.
+    fn traffic_model(&self, index: usize) -> ModelKind {
+        self.traffic_zoo[index % self.traffic_zoo.len()]
+    }
+
+    /// Launches one tenant process with the next rotation model.
+    fn launch_tenant(&mut self, user: UserId) -> Result<(), AttackError> {
+        let model = self.traffic_model(self.traffic_cursor);
+        self.traffic_cursor += 1;
+        let run = DpuRunner::new(model)
+            .launch(&mut self.kernel, user)
+            .map_err(runner_error)?;
+        self.tenants.push(run);
+        Ok(())
     }
 
     fn play_prologue(&mut self) -> Result<(), AttackError> {
         match self.scenario.schedule {
-            VictimSchedule::Single => Ok(()),
+            VictimSchedule::Single | VictimSchedule::Revival { .. } => Ok(()),
             VictimSchedule::SequentialTraffic { predecessors } => {
                 let zoo = ModelKind::all();
                 let start = (splitmix64(self.scenario.seed) % zoo.len() as u64) as usize;
@@ -507,10 +703,205 @@ impl<'a> BootedScenario<'a> {
                     .launch(&mut self.kernel, active_user)
                     .map_err(runner_error)?;
                 self.kernel.terminate(warmup)?;
-                self.active_tenant = Some(active);
+                self.tenants.push(active);
+                Ok(())
+            }
+            VictimSchedule::LiveTraffic { tenants, .. } => {
+                for i in 0..tenants {
+                    let user = UserId::new(self.scenario.victim_user.as_u32() + 2 + i as u32);
+                    self.launch_tenant(user)?;
+                }
                 Ok(())
             }
         }
+    }
+
+    /// Revival epilogue: between the victim's termination and the scrape,
+    /// launch successor processes that re-allocate the victim's freed frames
+    /// (and optionally its pid), measure the residue each inherits, then let
+    /// them overwrite it and terminate.
+    fn play_revival_epilogue(
+        &mut self,
+        victim_pid: Pid,
+        lifetime: &mut ResidueLifetime,
+        reclaimed: &mut BTreeSet<FrameNumber>,
+    ) -> Result<(), AttackError> {
+        let VictimSchedule::Revival {
+            successors,
+            reuse_pid,
+        } = self.scenario.schedule
+        else {
+            return Ok(());
+        };
+        for i in 0..successors {
+            let model = self.traffic_model(self.traffic_cursor);
+            self.traffic_cursor += 1;
+            let binary = format!("./{}", model.name());
+            let xmodel_path = model.xmodel_path();
+            let cmdline = [binary.as_str(), xmodel_path.as_str()];
+            let pid = if reuse_pid && i == 0 {
+                self.kernel
+                    .spawn_reusing_pid(self.scenario.victim_user, &cmdline, victim_pid)?
+            } else {
+                self.kernel.spawn(self.scenario.victim_user, &cmdline)?
+            };
+
+            // Deliberately NOT `DpuRunner::launch`: the successor must read
+            // its heap *between* allocation and the runtime's first write
+            // (the inheritance measurement), which the runner's launch
+            // sequence gives no hook for; successors also skip the inference
+            // pass, since only their memory footprint matters here.
+            let (w, h) = model.input_dims();
+            let (bytes, layout) = heap_image(model, &Image::sample_photo(w, h));
+            self.kernel.grow_heap(pid, layout.heap_len)?;
+            let heap = self.kernel.process(pid)?.heap_base();
+
+            // A revived process sees its freshly allocated heap *before*
+            // writing anything — exactly the read that inherits residue.
+            let mut inherited = vec![0u8; layout.heap_len as usize];
+            self.kernel.read_process_memory(pid, heap, &mut inherited)?;
+            if i == 0 {
+                lifetime.revived_heap_frames = (layout.heap_len / PAGE_SIZE) as usize;
+                lifetime.revival_inherited_frames = inherited
+                    .chunks(PAGE_SIZE as usize)
+                    .filter(|page| page.iter().any(|&b| b != 0))
+                    .count();
+            }
+            reclaimed.extend(heap_frames(&self.kernel, pid)?);
+
+            self.kernel.write_process_memory(pid, heap, &bytes)?;
+            self.kernel.terminate(pid)?;
+        }
+        Ok(())
+    }
+
+    /// One live-traffic churn event: the oldest tenant terminates and a
+    /// replacement launches, re-allocating freed frames mid-scrape.
+    ///
+    /// Returns `false` (no event) when there is no tenant to cycle.
+    fn churn_tenant_once(
+        &mut self,
+        reclaimed: &mut BTreeSet<FrameNumber>,
+    ) -> Result<bool, AttackError> {
+        if self.tenants.is_empty() {
+            return Ok(false);
+        }
+        let oldest = self.tenants.remove(0);
+        let user = self.kernel.process(oldest.pid())?.user();
+        oldest.terminate(&mut self.kernel).map_err(runner_error)?;
+        self.launch_tenant(user)?;
+        let newest = self.tenants.last().expect("tenant just launched");
+        reclaimed.extend(heap_frames(&self.kernel, newest.pid())?);
+        Ok(true)
+    }
+
+    /// Scrape under live traffic: reads the heap in page chunks, running the
+    /// schedule's churn events between chunks, and counts each victim
+    /// residue frame that was already gone when its page was read.
+    #[allow(clippy::too_many_arguments)]
+    fn scrape_with_churn(
+        &mut self,
+        debugger: &mut DebugSession,
+        observation: &Observation,
+        churn_rate: usize,
+        victim_residue: &BTreeSet<FrameNumber>,
+        lifetime: &mut ResidueLifetime,
+        reclaimed: &mut BTreeSet<FrameNumber>,
+    ) -> Result<AttackOutcome, AttackError> {
+        if debugger.is_running(&self.kernel, observation.pid()) {
+            return Err(AttackError::VictimStillRunning {
+                pid: observation.pid(),
+            });
+        }
+        let translation = observation.translation().clone();
+        let mode = self.pipeline.config().scrape_mode;
+        let pid = translation.pid();
+        // Mode-specific usability checks, mirroring `crate::scrape`: the
+        // endpoint attacker needs the first page resident, the per-page
+        // attacker needs any page at all.
+        let contiguous_start = match mode {
+            ScrapeMode::ContiguousRange => Some(
+                translation
+                    .phys_start()
+                    .ok_or(AttackError::TranslationEmpty { pid })?,
+            ),
+            ScrapeMode::PerPage => {
+                if translation.present_pages() == 0 {
+                    return Err(AttackError::TranslationEmpty { pid });
+                }
+                None
+            }
+        };
+
+        let scrape_start = Instant::now();
+        let window = self.kernel.config().dram();
+        let mut captured: Vec<Option<(PhysAddr, Vec<u8>)>> =
+            Vec::with_capacity(translation.pages().len());
+        for (index, page) in translation.pages().iter().enumerate() {
+            if index > 0 && index % CHURN_CHUNK_PAGES == 0 {
+                for _ in 0..churn_rate {
+                    // Only churn that actually happened counts: with no
+                    // tenants to cycle there is no event to record.
+                    if self.churn_tenant_once(reclaimed)? {
+                        lifetime.churn_events += 1;
+                    }
+                }
+            }
+            // Residue-lifetime accounting at the moment of the read: was this
+            // page's frame still victim residue when the attacker got to it?
+            if let Some(pa) = page {
+                let frame = pa.frame_number();
+                if victim_residue.contains(&frame) && frame_lost(&self.kernel, frame, reclaimed) {
+                    lifetime.frames_lost_before_scrape += 1;
+                }
+            }
+            // The paper's endpoint-based attacker assumes contiguity from the
+            // first page; the per-page attacker uses each page's translation.
+            // Edge semantics mirror `crate::scrape` exactly, so a LiveTraffic
+            // dump is byte-comparable to a Single-schedule one: contiguous
+            // reads clamp to the DRAM window and zero-pad, per-page reads
+            // propagate channel errors.
+            match mode {
+                ScrapeMode::ContiguousRange => {
+                    let pa = contiguous_start.expect("checked for contiguous mode")
+                        + index as u64 * PAGE_SIZE;
+                    if pa < window.end() {
+                        let available = window.end().offset_from(pa).min(PAGE_SIZE) as usize;
+                        let mut bytes = debugger.read_phys_range(&self.kernel, pa, available)?;
+                        bytes.resize(PAGE_SIZE as usize, 0);
+                        captured.push(Some((pa, bytes)));
+                    } else {
+                        captured.push(None);
+                    }
+                }
+                ScrapeMode::PerPage => match page {
+                    Some(pa) => {
+                        let bytes =
+                            debugger.read_phys_range(&self.kernel, *pa, PAGE_SIZE as usize)?;
+                        captured.push(Some((*pa, bytes)));
+                    }
+                    None => captured.push(None),
+                },
+            }
+        }
+        let dump = match mode {
+            ScrapeMode::ContiguousRange => {
+                let start = contiguous_start.expect("checked for contiguous mode");
+                let mut bytes = Vec::with_capacity(translation.heap_len() as usize);
+                for page in &captured {
+                    match page {
+                        Some((_, data)) => bytes.extend_from_slice(data),
+                        None => bytes.extend(std::iter::repeat_n(0u8, PAGE_SIZE as usize)),
+                    }
+                }
+                bytes.truncate(translation.heap_len() as usize);
+                MemoryDump::from_contiguous(translation.heap_start(), start, bytes)
+            }
+            ScrapeMode::PerPage => MemoryDump::from_pages(translation.heap_start(), captured),
+        };
+        Ok(self
+            .pipeline
+            .score_dump(observation, &dump, scrape_start.elapsed()))
     }
 
     /// Stage 2: launches the victim model on the booted board.
@@ -526,8 +917,9 @@ impl<'a> BootedScenario<'a> {
     }
 
     /// Stage 3: the attacker observes `victim`, the victim terminates, the
-    /// attacker scrapes and analyses, and the result is scored against
-    /// ground truth.
+    /// schedule's post-termination traffic plays (revival successors, live
+    /// churn), the attacker scrapes and analyses, and the result is scored
+    /// against ground truth.
     ///
     /// # Errors
     ///
@@ -539,12 +931,48 @@ impl<'a> BootedScenario<'a> {
         let observation = self
             .pipeline
             .poll_and_observe(&mut debugger, &self.kernel)?;
+        let victim_pid = victim.pid();
+        let victim_tag = victim_pid.owner_tag();
         let ground_truth = victim.terminate(&mut self.kernel).map_err(runner_error)?;
         let scrub_report = self.kernel.scrub_reports().last().cloned();
 
-        let attack = self
-            .pipeline
-            .execute(&mut debugger, &self.kernel, &observation)?;
+        // Residue-lifetime bookkeeping starts at the moment of termination:
+        // these are the frames an ideal (instant) scrape could still read.
+        let victim_residue: BTreeSet<FrameNumber> = self
+            .kernel
+            .dram()
+            .residue_frames()
+            .filter(|(_, owner)| *owner == victim_tag)
+            .map(|(frame, _)| frame)
+            .collect();
+        let mut lifetime = ResidueLifetime {
+            victim_frames: victim_residue.len(),
+            ..ResidueLifetime::default()
+        };
+        let mut reclaimed: BTreeSet<FrameNumber> = BTreeSet::new();
+
+        self.play_revival_epilogue(victim_pid, &mut lifetime, &mut reclaimed)?;
+
+        let attack = match self.scenario.schedule {
+            VictimSchedule::LiveTraffic { churn_rate, .. } => self.scrape_with_churn(
+                &mut debugger,
+                &observation,
+                churn_rate,
+                &victim_residue,
+                &mut lifetime,
+                &mut reclaimed,
+            )?,
+            _ => {
+                // No mutation happens during the scrape itself: the loss
+                // count is exact when taken just before the read starts.
+                lifetime.frames_lost_before_scrape = victim_residue
+                    .iter()
+                    .filter(|frame| frame_lost(&self.kernel, **frame, &reclaimed))
+                    .count();
+                self.pipeline
+                    .execute(&mut debugger, &self.kernel, &observation)?
+            }
+        };
 
         let collateral_bytes = self
             .kernel
@@ -552,9 +980,14 @@ impl<'a> BootedScenario<'a> {
             .iter()
             .map(|r| r.collateral_bytes)
             .sum();
-        let active_tenant_intact = match &self.active_tenant {
-            Some(active) => Some(self.active_tenant_data_intact(active)?),
-            None => None,
+        let active_tenant_intact = if self.tenants.is_empty() {
+            None
+        } else {
+            let mut all_intact = true;
+            for tenant in &self.tenants {
+                all_intact &= self.active_tenant_data_intact(tenant)?;
+            }
+            Some(all_intact)
         };
 
         Ok(ScenarioOutcome {
@@ -565,10 +998,11 @@ impl<'a> BootedScenario<'a> {
             denied_operations: debugger.audit().denied_count(),
             collateral_bytes,
             active_tenant_intact,
+            residue_lifetime: lifetime,
         })
     }
 
-    /// Ground truth for the co-resident tenant: is its input image still
+    /// Ground truth for a co-resident tenant: is its input image still
     /// intact in its own (still mapped) heap?
     fn active_tenant_data_intact(&self, active: &LaunchedRun) -> Result<bool, AttackError> {
         let layout = active.layout();
@@ -745,6 +1179,213 @@ mod tests {
             .to_string(),
             "multi-tenant(yolov3)"
         );
+        assert_eq!(
+            VictimSchedule::Revival {
+                successors: 2,
+                reuse_pid: true
+            }
+            .to_string(),
+            "revival(2,reuse-pid)"
+        );
+        assert_eq!(
+            VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: false
+            }
+            .to_string(),
+            "revival(1)"
+        );
+        assert_eq!(
+            VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 3
+            }
+            .to_string(),
+            "live-traffic(2,churn=3)"
+        );
         assert_eq!(VictimSchedule::default(), VictimSchedule::Single);
+    }
+
+    #[test]
+    fn revival_successor_inherits_then_destroys_the_residue() {
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            })
+            .with_seed(11);
+        let outcome = scenario.execute().unwrap();
+        let lifetime = outcome.residue_lifetime();
+
+        // The victim left residue, and the revived process inherited it in
+        // its freshly allocated heap frames.
+        assert!(lifetime.victim_frames > 0);
+        assert!(lifetime.revived_heap_frames > 0);
+        assert!(lifetime.revival_inherited_frames > 0);
+        assert!(lifetime.inheritance_rate() > 0.0);
+        assert!(lifetime.inheritance_rate() <= 1.0);
+        // Inherited frames come from the reused pool, never exceed it.
+        assert!(lifetime.revival_inherited_frames <= lifetime.victim_frames);
+
+        // The successor then overwrote the reused frames, so the attacker
+        // arrived too late: residue lost, recovery destroyed.
+        assert!(lifetime.frames_lost_before_scrape > 0);
+        assert!(lifetime.survival_rate() < 1.0);
+        assert!(outcome.pixel_recovery_rate() < 0.5);
+        assert!(!outcome.model_identification_correct());
+
+        // Same seed replays the same revival, byte for byte.
+        let replay = scenario.execute().unwrap();
+        assert_eq!(outcome.metrics(), replay.metrics());
+    }
+
+    #[test]
+    fn revival_without_pid_reuse_still_inherits_frames() {
+        let outcome = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_schedule(VictimSchedule::Revival {
+                successors: 2,
+                reuse_pid: false,
+            })
+            .with_seed(5)
+            .execute()
+            .unwrap();
+        let lifetime = outcome.residue_lifetime();
+        assert!(lifetime.revival_inherited_frames > 0);
+        assert!(lifetime.frames_lost_before_scrape > 0);
+    }
+
+    #[test]
+    fn sanitize_on_free_drives_revival_inheritance_to_zero() {
+        let board = BoardConfig::tiny_for_tests().with_sanitize_policy(SanitizePolicy::ZeroOnFree);
+        let outcome = AttackScenario::new(board, ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            })
+            .execute()
+            .unwrap();
+        let lifetime = outcome.residue_lifetime();
+        // The victim's frames were scrubbed at termination: nothing to
+        // inherit, nothing to survive.
+        assert_eq!(lifetime.victim_frames, 0);
+        assert_eq!(lifetime.revival_inherited_frames, 0);
+        assert_eq!(lifetime.inheritance_rate(), 0.0);
+        assert_eq!(lifetime.survival_rate(), 0.0);
+    }
+
+    #[test]
+    fn live_traffic_churn_decays_scrape_coverage() {
+        let at_churn = |churn_rate| {
+            AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+                .with_corrupted_input()
+                .with_schedule(VictimSchedule::LiveTraffic {
+                    tenants: 2,
+                    churn_rate,
+                })
+                .with_seed(3)
+                .execute()
+                .unwrap()
+        };
+
+        let calm = at_churn(0);
+        assert_eq!(calm.residue_lifetime().churn_events, 0);
+        assert_eq!(calm.residue_lifetime().frames_lost_before_scrape, 0);
+        assert!(calm.model_identification_correct());
+        assert!(calm.pixel_recovery_rate() > 0.99);
+
+        let stormy = at_churn(4);
+        let lifetime = stormy.residue_lifetime();
+        assert!(lifetime.churn_events > 0);
+        // Live churn re-allocated victim frames mid-scrape: residue decayed.
+        assert!(lifetime.frames_lost_before_scrape > 0);
+        assert!(lifetime.survival_rate() < 1.0);
+        assert!(stormy.pixel_recovery_rate() < calm.pixel_recovery_rate());
+
+        // Tenants keep running during the attack and report their health.
+        assert!(stormy.active_tenant_intact().is_some());
+
+        // Churn is sequenced by the seed, not the wall clock: replays match.
+        let replay = at_churn(4);
+        assert_eq!(stormy.metrics(), replay.metrics());
+    }
+
+    #[test]
+    fn churn_free_scrape_matches_the_pipeline_scraper_byte_for_byte() {
+        // Anti-drift pin for the duplicated edge semantics: on the same
+        // terminated board, `scrape_with_churn` at churn 0 must produce the
+        // identical attack outcome (minus wall-clock) as the one-shot
+        // `AttackPipeline::execute` path, in both scrape modes.
+        for mode in [ScrapeMode::ContiguousRange, ScrapeMode::PerPage] {
+            let scenario =
+                AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+                    .with_corrupted_input()
+                    .with_attack_config(AttackConfig {
+                        scrape_mode: mode,
+                        victim_pattern: Some("squeezenet".to_string()),
+                        ..AttackConfig::default()
+                    })
+                    .with_seed(13);
+            let mut booted = scenario.boot().unwrap();
+            let victim = booted.launch_victim().unwrap();
+            let mut debugger = DebugSession::connect(UserId::new(1));
+            let observation = booted
+                .pipeline
+                .poll_and_observe(&mut debugger, &booted.kernel)
+                .unwrap();
+            victim.terminate(&mut booted.kernel).unwrap();
+
+            let via_pipeline = booted
+                .pipeline
+                .execute(&mut debugger, &booted.kernel, &observation)
+                .unwrap();
+
+            let mut lifetime = ResidueLifetime::default();
+            let mut reclaimed = std::collections::BTreeSet::new();
+            let via_churn_path = booted
+                .scrape_with_churn(
+                    &mut debugger,
+                    &observation,
+                    0,
+                    &std::collections::BTreeSet::new(),
+                    &mut lifetime,
+                    &mut reclaimed,
+                )
+                .unwrap();
+
+            assert_eq!(via_pipeline.identified, via_churn_path.identified, "{mode}");
+            assert_eq!(via_pipeline.marker_runs, via_churn_path.marker_runs);
+            assert_eq!(
+                via_pipeline.reconstructed_image,
+                via_churn_path.reconstructed_image
+            );
+            assert_eq!(
+                via_pipeline.image_offset_used,
+                via_churn_path.image_offset_used
+            );
+            assert_eq!(via_pipeline.bytes_scraped, via_churn_path.bytes_scraped);
+            assert_eq!(via_pipeline.dump_coverage, via_churn_path.dump_coverage);
+            assert_eq!(lifetime.churn_events, 0);
+        }
+    }
+
+    #[test]
+    fn live_traffic_keeps_co_tenants_and_poll_targets_the_victim() {
+        let scenario = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 1,
+            })
+            .with_seed(9);
+        let booted = scenario.boot().unwrap();
+        assert_eq!(booted.tenants().len(), 2);
+        // The rotation never runs the victim's own model as a tenant.
+        for tenant in booted.tenants() {
+            assert_ne!(tenant.model(), ModelKind::SqueezeNet);
+        }
+        let outcome = booted.run().unwrap();
+        // Polling still latched onto the victim, not a tenant.
+        assert_eq!(outcome.ground_truth().model(), ModelKind::SqueezeNet);
     }
 }

@@ -206,6 +206,7 @@ impl From<FrameNumber> for u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn phys_addr_display_is_devmem_style_hex() {
@@ -265,5 +266,51 @@ mod tests {
         assert_eq!(frame.next(), FrameNumber::new(43));
         assert_eq!(frame.to_string(), "pfn:0x2a");
         assert_eq!(u64::from(FrameNumber::from(5u64)), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_offset_decomposition_roundtrips(raw in any::<u64>()) {
+            // frame * PAGE_SIZE + offset reconstructs the address exactly.
+            let pa = PhysAddr::new(raw);
+            prop_assert_eq!(
+                pa.frame_number().base_address() + pa.page_offset(),
+                pa
+            );
+            prop_assert!(pa.page_offset() < PAGE_SIZE);
+            prop_assert_eq!(pa.frame_number().base_address().page_offset(), 0);
+        }
+
+        #[test]
+        fn prop_alignment_brackets_the_address(raw in 0u64..(u64::MAX - PAGE_SIZE)) {
+            let pa = PhysAddr::new(raw);
+            let down = pa.align_down();
+            let up = pa.align_up();
+            prop_assert!(down.is_aligned());
+            prop_assert!(up.is_aligned());
+            prop_assert!(down <= pa);
+            prop_assert!(pa <= up);
+            prop_assert!(up.as_u64() - down.as_u64() <= PAGE_SIZE);
+            prop_assert_eq!(down == up, pa.is_aligned());
+            prop_assert_eq!(down, pa.frame_number().base_address());
+        }
+
+        #[test]
+        fn prop_addition_and_offset_from_are_inverses(base in 0u64..(1u64 << 48), delta in 0u64..(1u64 << 16)) {
+            let pa = PhysAddr::new(base);
+            prop_assert_eq!((pa + delta).offset_from(pa), delta);
+            prop_assert_eq!(pa.checked_add(delta), Some(pa + delta));
+            prop_assert_eq!((pa + delta) - delta, pa);
+        }
+
+        #[test]
+        fn prop_frame_base_is_monotone_and_page_strided(raw in 0u64..(u64::MAX / PAGE_SIZE)) {
+            let frame = FrameNumber::new(raw);
+            prop_assert_eq!(frame.base_address().frame_number(), frame);
+            prop_assert_eq!(
+                frame.next().base_address().offset_from(frame.base_address()),
+                PAGE_SIZE
+            );
+        }
     }
 }

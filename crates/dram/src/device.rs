@@ -290,7 +290,9 @@ impl Dram {
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::OutOfRange`] if the range leaves the window.
+    /// Returns [`DramError::OutOfRange`] if the range leaves the window and
+    /// [`DramError::EmptyRange`] when `len` is zero (almost always an
+    /// end-before-start range computed by the caller).
     pub fn fill(
         &mut self,
         addr: PhysAddr,
@@ -298,6 +300,9 @@ impl Dram {
         byte: u8,
         owner: OwnerTag,
     ) -> Result<(), DramError> {
+        if len == 0 {
+            return Err(DramError::EmptyRange { addr });
+        }
         self.check_range(addr, len)?;
         let mut cursor = 0u64;
         while cursor < len {
@@ -319,8 +324,14 @@ impl Dram {
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::OutOfRange`] if the range leaves the window.
+    /// Returns [`DramError::OutOfRange`] if the range leaves the window and
+    /// [`DramError::EmptyRange`] when `len` is zero — a sanitizer asked to
+    /// scrub nothing is a caller bug (typically an end-before-start span) and
+    /// must not be recorded as a successful scrub.
     pub fn scrub_range(&mut self, addr: PhysAddr, len: u64) -> Result<(), DramError> {
+        if len == 0 {
+            return Err(DramError::EmptyRange { addr });
+        }
         self.check_range(addr, len)?;
         // One pass, page-sized chunks: zero the covered slice of each
         // materialized frame, then drop the ownership record of every frame
@@ -556,6 +567,64 @@ mod tests {
         assert_eq!(d.read_u8(base).unwrap(), 0);
         assert_eq!(d.read_u8(base + PAGE_SIZE - 1).unwrap(), 0xFF);
         assert!(d.frame_ownership(base.frame_number()).is_some());
+    }
+
+    #[test]
+    fn zero_length_fill_and_scrub_are_rejected() {
+        let mut d = dram();
+        let base = d.config().base();
+        assert!(matches!(
+            d.fill(base, 0, 0xFF, OwnerTag::new(1)),
+            Err(DramError::EmptyRange { .. })
+        ));
+        assert!(matches!(
+            d.scrub_range(base, 0),
+            Err(DramError::EmptyRange { .. })
+        ));
+        // Nothing was recorded for the rejected calls.
+        assert_eq!(d.stats().bytes_written(), 0);
+        assert_eq!(d.stats().bytes_scrubbed(), 0);
+        assert_eq!(d.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn end_before_start_ranges_are_rejected() {
+        // A caller computing `len = end - start` with wrapped arithmetic gets
+        // a huge length; the window check must reject it rather than scrub an
+        // unintended span.
+        let mut d = dram();
+        let start = d.config().base() + PAGE_SIZE;
+        let wrapped = (0u64).wrapping_sub(PAGE_SIZE); // "end - start" underflow
+        assert!(matches!(
+            d.scrub_range(start, wrapped),
+            Err(DramError::OutOfRange { .. }) | Err(DramError::LengthOverflow { .. })
+        ));
+        assert!(matches!(
+            d.fill(start, wrapped, 0xAB, OwnerTag::new(1)),
+            Err(DramError::OutOfRange { .. }) | Err(DramError::LengthOverflow { .. })
+        ));
+        // A length that overflows the address space itself.
+        assert!(matches!(
+            d.scrub_range(start, u64::MAX),
+            Err(DramError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_bulk_copies_remain_harmless_noops() {
+        // The bulk read/write paths (one frame lookup per touched page) accept
+        // zero-length buffers: reading or writing nothing is well-defined and
+        // callers (page loops) reach it naturally at range edges.
+        let mut d = dram();
+        let base = d.config().base();
+        d.write_bytes(base, &[], OwnerTag::new(1)).unwrap();
+        let mut empty: [u8; 0] = [];
+        d.read_bytes(base, &mut empty).unwrap();
+        assert_eq!(d.materialized_frames(), 0);
+        assert!(d.frame_ownership(base.frame_number()).is_none());
+        // At the last valid byte of the window, too.
+        d.write_bytes(d.config().end() - 1, &[], OwnerTag::new(1))
+            .unwrap();
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub enum DramError {
         /// Length of the access in bytes.
         len: u64,
     },
+    /// A mutation (fill / scrub) was requested over an empty range.
+    ///
+    /// Zero-length sanitizer runs are always caller bugs — typically an
+    /// end-before-start range whose length underflowed to zero — so the
+    /// device rejects them instead of silently recording a no-op scrub.
+    EmptyRange {
+        /// Address of the offending request.
+        addr: PhysAddr,
+    },
 }
 
 impl fmt::Display for DramError {
@@ -49,6 +58,9 @@ impl fmt::Display for DramError {
                     f,
                     "access at {addr} of {len} bytes overflows the address space"
                 )
+            }
+            DramError::EmptyRange { addr } => {
+                write!(f, "zero-length range at {addr} (end precedes start?)")
             }
         }
     }
@@ -77,6 +89,10 @@ mod tests {
             len: 4,
         };
         assert!(e.to_string().contains("overflows"));
+        let e = DramError::EmptyRange {
+            addr: PhysAddr::new(0x6_0000_0000),
+        };
+        assert!(e.to_string().contains("zero-length"));
     }
 
     #[test]

@@ -280,25 +280,51 @@ mod tests {
         let _ = m.compose(c);
     }
 
+    /// Every board configuration a campaign can put cells on — the geometry
+    /// properties below must hold on all of them, not just the ZCU104.
+    fn all_board_configs() -> Vec<DramConfig> {
+        vec![
+            DramConfig::zcu104(),
+            DramConfig::zcu102(),
+            DramConfig::tiny_for_tests(),
+            // A 64 MiB window whose geometry covers it exactly (26 bits).
+            DramConfig::custom(
+                PhysAddr::new(0x6_0000_0000),
+                64 * 1024 * 1024,
+                DdrGeometry {
+                    column_bits: 8,
+                    bank_bits: 2,
+                    bank_group_bits: 2,
+                    row_bits: 13,
+                    rank_bits: 1,
+                },
+            ),
+        ]
+    }
+
     proptest! {
         #[test]
-        fn prop_decompose_compose_roundtrip(offset in 0u64..(2u64 * 1024 * 1024 * 1024)) {
-            let m = mapping();
-            let addr = m.config().base() + offset;
-            let coords = m.decompose(addr).unwrap();
-            prop_assert_eq!(m.compose(coords), addr);
+        fn prop_decompose_compose_roundtrip_on_all_boards(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let addr = cfg.base() + raw % cfg.capacity();
+                let coords = m.decompose(addr).unwrap();
+                prop_assert_eq!(m.compose(coords), addr, "config {:?}", cfg.board());
+            }
         }
 
         #[test]
-        fn prop_coordinates_within_geometry(offset in 0u64..(2u64 * 1024 * 1024 * 1024)) {
-            let m = mapping();
-            let g = m.config().geometry();
-            let coords = m.decompose(m.config().base() + offset).unwrap();
-            prop_assert!(coords.column < (1 << g.column_bits));
-            prop_assert!(coords.bank < (1 << g.bank_bits));
-            prop_assert!(coords.bank_group < (1 << g.bank_group_bits));
-            prop_assert!(coords.row < (1 << g.row_bits));
-            prop_assert!(coords.rank < (1 << g.rank_bits));
+        fn prop_coordinates_within_geometry_on_all_boards(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let g = cfg.geometry();
+                let coords = m.decompose(cfg.base() + raw % cfg.capacity()).unwrap();
+                prop_assert!(coords.column < (1 << g.column_bits));
+                prop_assert!(coords.bank < (1 << g.bank_bits));
+                prop_assert!(coords.bank_group < (1 << g.bank_group_bits));
+                prop_assert!(coords.row < (1 << g.row_bits));
+                prop_assert!(coords.rank < (1 << g.rank_bits));
+            }
         }
 
         #[test]
@@ -310,6 +336,34 @@ mod tests {
             let ca = m.decompose(a).unwrap();
             let cb = m.decompose(b).unwrap();
             prop_assert_eq!(ca.row_id(&g), cb.row_id(&g));
+        }
+
+        #[test]
+        fn prop_row_span_contains_address_on_all_boards(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let addr = cfg.base() + raw % cfg.capacity();
+                let (start, end) = m.row_span(addr).unwrap();
+                prop_assert!(start <= addr && addr < end);
+                prop_assert_eq!(end.offset_from(start), cfg.geometry().row_bytes());
+                // Every byte of the span shares the address's row identity.
+                let g = cfg.geometry();
+                let row = m.decompose(addr).unwrap().row_id(&g);
+                prop_assert_eq!(m.decompose(start).unwrap().row_id(&g), row);
+                prop_assert_eq!(m.decompose(end - 1).unwrap().row_id(&g), row);
+            }
+        }
+
+        #[test]
+        fn prop_outside_window_never_decomposes(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let below = PhysAddr::new(raw % cfg.base().as_u64());
+                prop_assert!(m.decompose(below).is_none());
+                if let Some(above) = cfg.end().checked_add(raw % (1u64 << 32)) {
+                    prop_assert!(m.decompose(above).is_none());
+                }
+            }
         }
     }
 }

@@ -160,6 +160,17 @@ impl FrameAllocator {
         self.allocated.contains(&frame)
     }
 
+    /// Iterates over the frames currently on the free (reuse) list, oldest
+    /// freed first.
+    ///
+    /// The reuse order is the security-relevant contract revival-style
+    /// attacks exploit: under [`AllocationOrder::Sequential`] the *last*
+    /// frame of this iterator is handed out next, under
+    /// [`AllocationOrder::FifoReuse`] the *first*.
+    pub fn free_list_frames(&self) -> impl Iterator<Item = FrameNumber> + '_ {
+        self.free_list.iter().copied()
+    }
+
     fn frame_at(&self, relative: u64) -> FrameNumber {
         FrameNumber::new(self.config.first_frame().as_u64() + relative)
     }
@@ -353,6 +364,29 @@ mod tests {
             AllocationOrder::Randomized { seed: 3 }.to_string(),
             "randomized(seed=3)"
         );
+    }
+
+    #[test]
+    fn free_list_exposes_reuse_order() {
+        // The revival attack path depends on exactly this contract: a
+        // terminated process's frames sit on the free list in free order, and
+        // the policy determines which end is reused first.
+        for order in [AllocationOrder::Sequential, AllocationOrder::FifoReuse] {
+            let mut a = allocator(order);
+            let f0 = a.allocate().unwrap();
+            let f1 = a.allocate().unwrap();
+            let f2 = a.allocate().unwrap();
+            a.free(f0);
+            a.free(f2);
+            a.free(f1);
+            let listed: Vec<_> = a.free_list_frames().collect();
+            assert_eq!(listed, vec![f0, f2, f1], "oldest freed first ({order})");
+            let expected_next = match order {
+                AllocationOrder::Sequential => f1, // LIFO: most recently freed
+                _ => f0,                           // FIFO: oldest freed
+            };
+            assert_eq!(a.allocate().unwrap(), expected_next);
+        }
     }
 
     #[test]

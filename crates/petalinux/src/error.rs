@@ -42,6 +42,11 @@ pub enum KernelError {
     },
     /// An empty command line was supplied to `spawn`.
     EmptyCommandLine,
+    /// A pid requested for reuse still belongs to a running process.
+    PidInUse {
+        /// The still-running pid.
+        pid: Pid,
+    },
     /// An underlying virtual-memory error.
     Mmu(MmuError),
     /// An underlying DRAM access error.
@@ -62,6 +67,9 @@ impl fmt::Display for KernelError {
                 write!(f, "address {addr:x} is not mapped in process {pid}")
             }
             KernelError::EmptyCommandLine => write!(f, "empty command line"),
+            KernelError::PidInUse { pid } => {
+                write!(f, "pid {pid} is still in use by a running process")
+            }
             KernelError::Mmu(e) => write!(f, "virtual memory error: {e}"),
             KernelError::Dram(e) => write!(f, "dram error: {e}"),
         }
@@ -118,6 +126,9 @@ mod tests {
         assert!(e.to_string().contains("permission denied"));
 
         assert!(KernelError::EmptyCommandLine.to_string().contains("empty"));
+        assert!(KernelError::PidInUse { pid: Pid::new(3) }
+            .to_string()
+            .contains("still in use"));
         assert!(KernelError::ProcessTerminated { pid: Pid::new(1) }
             .to_string()
             .contains("terminated"));

@@ -135,6 +135,14 @@ impl Kernel {
         let pid = Pid::new(self.next_pid);
         self.next_pid += 1;
         let parent = Pid::new(self.next_pid.saturating_sub(1000).max(1));
+        self.insert_process(pid, parent, user, cmdline);
+        Ok(pid)
+    }
+
+    /// Shared tail of [`Kernel::spawn`] and [`Kernel::spawn_reusing_pid`]:
+    /// builds the process record with a fresh address space and advances the
+    /// clock.
+    fn insert_process(&mut self, pid: Pid, parent: Pid, user: UserId, cmdline: &[&str]) {
         let layout = AddressSpaceLayout::from_mode(self.config.aslr());
         let space = AddressSpace::new(layout);
         let process = Process::new(
@@ -147,6 +155,42 @@ impl Kernel {
         );
         self.processes.insert(pid, process);
         self.clock += 1;
+    }
+
+    /// Spawns a new process that *reuses* the pid of a terminated one — the
+    /// resurrection-style lifecycle in which private data can leak across a
+    /// pid's lifetimes.
+    ///
+    /// On a real busy system the pid counter wraps and terminated pids are
+    /// eventually handed out again; this entry point makes that reuse
+    /// deterministic for experiments.  The terminated process's record is
+    /// replaced by the new process; its DRAM residue (if the sanitize policy
+    /// left any) stays in place and keeps its owner tag, which now also
+    /// identifies the revived process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchProcess`] if `pid` was never spawned,
+    /// [`KernelError::PidInUse`] if it is still running, and
+    /// [`KernelError::EmptyCommandLine`] if `cmdline` is empty.
+    pub fn spawn_reusing_pid(
+        &mut self,
+        user: UserId,
+        cmdline: &[&str],
+        pid: Pid,
+    ) -> Result<Pid, KernelError> {
+        if cmdline.is_empty() {
+            return Err(KernelError::EmptyCommandLine);
+        }
+        let previous = self
+            .processes
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if previous.is_running() {
+            return Err(KernelError::PidInUse { pid });
+        }
+        let parent = previous.parent();
+        self.insert_process(pid, parent, user, cmdline);
         Ok(pid)
     }
 
@@ -549,6 +593,107 @@ mod tests {
         assert_eq!(buf, vec![0u8; 6]);
         // Two reports: the termination itself plus the deferred scrub.
         assert_eq!(k.scrub_reports().len(), 2);
+    }
+
+    #[test]
+    fn spawn_reusing_pid_revives_a_terminated_pid() {
+        let mut k = kernel();
+        let victim = k.spawn(UserId::new(0), &["./resnet50_pt"]).unwrap();
+        k.grow_heap(victim, 2 * 4096).unwrap();
+        let heap = k.process(victim).unwrap().heap_base();
+        k.write_process_memory(victim, heap, b"private victim data")
+            .unwrap();
+
+        // Reuse is refused while the pid is running.
+        assert!(matches!(
+            k.spawn_reusing_pid(UserId::new(1), &["revived"], victim),
+            Err(KernelError::PidInUse { .. })
+        ));
+        k.terminate(victim).unwrap();
+
+        // Unknown pids and empty command lines are still rejected.
+        assert!(matches!(
+            k.spawn_reusing_pid(UserId::new(1), &["x"], Pid::new(9999)),
+            Err(KernelError::NoSuchProcess { .. })
+        ));
+        assert!(matches!(
+            k.spawn_reusing_pid(UserId::new(1), &[], victim),
+            Err(KernelError::EmptyCommandLine)
+        ));
+
+        let revived = k
+            .spawn_reusing_pid(UserId::new(1), &["revived"], victim)
+            .unwrap();
+        assert_eq!(revived, victim);
+        let p = k.process(revived).unwrap();
+        assert!(p.is_running());
+        assert_eq!(p.user(), UserId::new(1));
+        assert_eq!(p.command_string(), "revived");
+        // Fresh pids continue from where the counter was — reuse does not
+        // disturb the deterministic sequence.
+        let fresh = k.spawn(UserId::new(0), &["next"]).unwrap();
+        assert_eq!(fresh.as_u32(), FIRST_PID + 1);
+    }
+
+    #[test]
+    fn revived_process_inherits_victim_frames_and_residue() {
+        // The lifecycle the Resurrection-style schedule exploits: the victim
+        // terminates unsanitized, its frames go to the top of the reuse list,
+        // and the next process's heap lands on them with the data intact.
+        let mut k = kernel();
+        let victim = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(victim, 3 * 4096).unwrap();
+        let heap = k.process(victim).unwrap().heap_base();
+        k.write_process_memory(victim, heap, b"secret weights")
+            .unwrap();
+        let victim_frames: Vec<_> = (0..3)
+            .map(|i| {
+                k.process(victim)
+                    .unwrap()
+                    .address_space()
+                    .translate(heap + i * 4096)
+                    .unwrap()
+                    .frame_number()
+            })
+            .collect();
+        k.terminate(victim).unwrap();
+
+        // The freed frames sit on the allocator's reuse list.
+        let free: Vec<_> = k.allocator().free_list_frames().collect();
+        for f in &victim_frames {
+            assert!(free.contains(f), "victim frame {f} must be reusable");
+        }
+
+        let revived = k
+            .spawn_reusing_pid(UserId::new(1), &["revived"], victim)
+            .unwrap();
+        k.grow_heap(revived, 3 * 4096).unwrap();
+        let new_heap = k.process(revived).unwrap().heap_base();
+        let revived_frames: Vec<_> = (0..3)
+            .map(|i| {
+                k.process(revived)
+                    .unwrap()
+                    .address_space()
+                    .translate(new_heap + i * 4096)
+                    .unwrap()
+                    .frame_number()
+            })
+            .collect();
+        // Sequential policy: the revived heap is built from the victim's
+        // frames (in LIFO order).
+        for f in &revived_frames {
+            assert!(victim_frames.contains(f));
+        }
+        // And the revived process can read the victim's residue through its
+        // own, freshly mapped heap — the exploitable inheritance.
+        let idx = revived_frames
+            .iter()
+            .position(|f| *f == victim_frames[0])
+            .unwrap() as u64;
+        let mut leaked = vec![0u8; 14];
+        k.read_process_memory(revived, new_heap + idx * 4096, &mut leaked)
+            .unwrap();
+        assert_eq!(&leaked, b"secret weights");
     }
 
     #[test]

@@ -14,8 +14,9 @@ use fpga_msa::msa::ScrapeMode;
 use fpga_msa::petalinux::{BoardConfig, IsolationPolicy};
 use fpga_msa::vitis::ModelKind;
 
-/// A 144-cell matrix exercising every axis class: 3 models × 2 inputs ×
-/// 3 sanitize × 2 isolation × 2 scrape × 2 schedules.
+/// A 288-cell matrix exercising every axis class: 3 models × 2 inputs ×
+/// 3 sanitize × 2 isolation × 2 scrape × 4 schedules — including both
+/// residue-lifetime schedules (revival and live traffic).
 fn matrix_spec() -> CampaignSpec {
     CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
         .with_models(vec![
@@ -34,6 +35,14 @@ fn matrix_spec() -> CampaignSpec {
         .with_schedules(vec![
             VictimSchedule::Single,
             VictimSchedule::SequentialTraffic { predecessors: 1 },
+            VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            },
+            VictimSchedule::LiveTraffic {
+                tenants: 1,
+                churn_rate: 1,
+            },
         ])
         .with_seed(0xFEED)
 }
@@ -56,7 +65,7 @@ fn deterministic_view(
 #[test]
 fn report_is_worker_count_independent_and_replayable() {
     let spec = matrix_spec();
-    assert!(spec.cell_count() >= 100, "matrix must cover ≥ 100 cells");
+    assert!(spec.cell_count() >= 200, "matrix must cover ≥ 200 cells");
 
     let serial = spec.run_with_workers(1).unwrap();
     let parallel = spec.run_with_workers(4).unwrap();
@@ -90,4 +99,59 @@ fn report_is_worker_count_independent_and_replayable() {
     assert_eq!(confined.blocked, confined.cells);
     assert_eq!(parallel.blocked_count(), confined.blocked);
     assert_eq!(serial.mean_pixel_recovery(), parallel.mean_pixel_recovery());
+
+    // The residue-lifetime schedules produced live (non-degenerate) data
+    // inside the matrix, so the equalities above pin them too.
+    let by_schedule = parallel.group_by(|r| r.cell.schedule.to_string());
+    assert_eq!(by_schedule.len(), 4);
+    let revival = &by_schedule["revival(1,reuse-pid)"];
+    assert!(revival.revival_inherited_frames > 0);
+    assert!(revival.mean_revival_inheritance > 0.0);
+    let live = &by_schedule["live-traffic(1,churn=1)"];
+    assert!(live.cells > 0);
+    assert_eq!(live.revival_inherited_frames, 0);
+}
+
+/// Live-traffic churn interleaving is pinned to the cell seed: replaying the
+/// same spec reproduces the same churn sequence, loss counts and recovery —
+/// across worker counts and repeated runs — while a different campaign seed
+/// plays a different tenant rotation.  Nothing here depends on wall clock.
+#[test]
+fn live_traffic_churn_is_pinned_to_the_cell_seed() {
+    let spec_at = |seed: u64| {
+        CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_schedules(vec![VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 2,
+            }])
+            .with_seed(seed)
+    };
+
+    let spec = spec_at(41);
+    let serial = spec.run_with_workers(1).unwrap();
+    let parallel = spec.run_with_workers(4).unwrap();
+    let replay = spec.run_with_workers(4).unwrap();
+    assert_eq!(deterministic_view(&serial), deterministic_view(&parallel));
+    assert_eq!(deterministic_view(&parallel), deterministic_view(&replay));
+
+    // The pinned run is not degenerate: churn actually happened and cost the
+    // attacker residue.
+    let lifetime = serial.cells()[0].metrics.as_ref().unwrap().residue_lifetime;
+    assert!(lifetime.churn_events > 0);
+    assert!(lifetime.frames_lost_before_scrape > 0);
+    assert!(lifetime.survival_rate() < 1.0);
+
+    // A different campaign seed derives a different churn outcome — the
+    // interleaving is seeded data, not an accident of scheduling.
+    let reseeded = spec_at(7).run_with_workers(4).unwrap();
+    let other = reseeded.cells()[0]
+        .metrics
+        .as_ref()
+        .unwrap()
+        .residue_lifetime;
+    assert_ne!(
+        lifetime.frames_lost_before_scrape,
+        other.frames_lost_before_scrape
+    );
 }
