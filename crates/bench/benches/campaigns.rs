@@ -38,6 +38,20 @@ fn bench_campaigns(c: &mut Criterion) {
         b.iter(|| black_box(spec.run_with_workers(4).unwrap().completed_count()))
     });
 
+    // The bank-striped scrape axis: the same 8-cell matrix with the scrape
+    // fanned across 4 bank readers per cell — byte-identical results, the
+    // scrape wall clock is what moves.
+    let striped = CampaignSpec::new("bench", bench_board())
+        .with_models(vec![ModelKind::SqueezeNet, ModelKind::MobileNetV2])
+        .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+        .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::SelectiveScrub])
+        .with_bank_striped_scrape(4)
+        .with_seed(1391);
+    group.throughput(Throughput::Elements(striped.cell_count() as u64));
+    group.bench_function("matrix_8_cells/bank_striped_x4", |b| {
+        b.iter(|| black_box(striped.run_with_workers(1).unwrap().completed_count()))
+    });
+
     group.throughput(Throughput::Elements(1));
     group.bench_function("expand_1024_cells", |b| {
         let big = CampaignSpec::new("bench", bench_board())

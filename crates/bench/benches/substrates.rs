@@ -66,11 +66,41 @@ fn bench_dram(c: &mut Criterion) {
             dram.scrub_range(black_box(base), SCRAPE_LEN).unwrap()
         })
     });
+
+    // The bank-parallel twins of the 8 MiB scrape and scrub: same bytes,
+    // fanned across 4 bank-shard workers.  Compare against the sequential
+    // entries above to see what the sharding buys on this machine.
+    group.bench_function("scrape_read_8mib_banked_x4", |b| {
+        let mut buf = vec![0u8; SCRAPE_LEN as usize];
+        b.iter(|| {
+            dram.scrape_banks_parallel(black_box(base), &mut buf, 4)
+                .unwrap()
+        })
+    });
+    group.bench_function("scrub_8mib_banked_x4", |b| {
+        b.iter(|| {
+            dram.fill(base, SCRAPE_LEN, 0xFF, owner).unwrap();
+            dram.scrub_banks_parallel(black_box(base), SCRAPE_LEN, 4)
+                .unwrap()
+        })
+    });
+
     group.bench_function("ddr_decompose_compose", |b| {
         let mapping = DdrMapping::new(cfg);
         b.iter(|| {
             let coords = mapping.decompose(base + 0x1_2345).unwrap();
             black_box(mapping.compose(coords))
+        })
+    });
+    group.bench_function("ddr_split_at_bank_boundaries_64kib", |b| {
+        let mapping = DdrMapping::new(cfg);
+        b.iter(|| {
+            black_box(
+                mapping
+                    .split_at_bank_boundaries(base + 0x1_2345, 64 * 1024)
+                    .unwrap()
+                    .len(),
+            )
         })
     });
     group.finish();

@@ -6,9 +6,10 @@
 //! stdout (the CI smoke invocation) against a checked-in golden file, so any
 //! change to table content, formatting or experiment math shows up as a diff.
 //!
-//! Wall-clock durations are the only run-dependent content; the normalizer
-//! replaces duration tokens with `<T>` and collapses the alignment whitespace
-//! they stretch, leaving every deterministic number pinned exactly.
+//! Wall-clock durations and the `--banks` speedup ratios are the only
+//! run-dependent content; the normalizer replaces duration tokens with `<T>`
+//! and speedups with `<X>`, and collapses the alignment whitespace they
+//! stretch, leaving every deterministic number pinned exactly.
 //!
 //! To regenerate after an intentional output change:
 //!
@@ -32,9 +33,18 @@ fn is_duration_token(token: &str) -> bool {
     false
 }
 
-/// Normalizes run-dependent content: duration tokens become `<T>`, column
-/// padding (which stretches with duration widths) collapses to single spaces,
-/// and all-dash separator rules collapse to `---`.
+/// `true` for speedup tokens like `3.4x`, `0.9x`, `12x` — wall-clock ratios
+/// printed by the `--banks` throughput table.
+fn is_speedup_token(token: &str) -> bool {
+    token
+        .strip_suffix('x')
+        .is_some_and(|value| !value.is_empty() && value.parse::<f64>().is_ok())
+}
+
+/// Normalizes run-dependent content: duration tokens become `<T>`, speedup
+/// ratios become `<X>`, column padding (which stretches with duration widths)
+/// collapses to single spaces, and all-dash separator rules collapse to
+/// `---`.
 fn normalize(raw: &str) -> String {
     let mut out: Vec<String> = Vec::new();
     for line in raw.lines() {
@@ -45,6 +55,8 @@ fn normalize(raw: &str) -> String {
                     "---".to_string()
                 } else if is_duration_token(token) {
                     "<T>".to_string()
+                } else if is_speedup_token(token) {
+                    "<X>".to_string()
                 } else {
                     token.to_string()
                 }
@@ -57,10 +69,11 @@ fn normalize(raw: &str) -> String {
     joined
 }
 
-#[test]
-fn tiny_timing_defenses_stdout_is_pinned() {
+/// Runs the experiments binary with `args`, normalizes its stdout and pins it
+/// against the golden file at `tests/golden/<golden_name>`.
+fn assert_matches_golden(args: &[&str], golden_name: &str) {
     let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
-        .args(["--timing", "--defenses", "--tiny"])
+        .args(args)
         .output()
         .expect("experiments binary runs");
     assert!(
@@ -73,7 +86,8 @@ fn tiny_timing_defenses_stdout_is_pinned() {
     let normalized = normalize(&stdout);
 
     let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden/experiments_tiny_timing_defenses.txt");
+        .join("tests/golden")
+        .join(golden_name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(&golden_path, &normalized).expect("golden file written");
         return;
@@ -83,14 +97,32 @@ fn tiny_timing_defenses_stdout_is_pinned() {
          --test golden_experiments",
     );
     assert_eq!(
-        normalized, golden,
-        "experiments --timing --defenses --tiny stdout drifted from the golden file; \
-         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+        normalized,
+        golden,
+        "experiments {} stdout drifted from the golden file; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1",
+        args.join(" ")
     );
 }
 
 #[test]
-fn normalizer_masks_only_durations_and_rules() {
+fn tiny_timing_defenses_stdout_is_pinned() {
+    assert_matches_golden(
+        &["--timing", "--defenses", "--tiny"],
+        "experiments_tiny_timing_defenses.txt",
+    );
+}
+
+#[test]
+fn tiny_banks_stdout_is_pinned() {
+    // The `--banks` table's deterministic content — bank counts, stripe and
+    // region sizes, byte-identity verdicts and the bank-striped attacker
+    // sweep — is pinned; wall-clock columns and speedups are masked.
+    assert_matches_golden(&["--banks", "--tiny"], "experiments_tiny_banks.txt");
+}
+
+#[test]
+fn normalizer_masks_only_durations_speedups_and_rules() {
     assert!(is_duration_token("12ns"));
     assert!(is_duration_token("504.49µs"));
     assert!(is_duration_token("1.63ms"));
@@ -99,8 +131,14 @@ fn normalizer_masks_only_durations_and_rules() {
     assert!(!is_duration_token("6.5MiB"));
     assert!(!is_duration_token("100.0%"));
     assert!(!is_duration_token("s"));
+    assert!(is_speedup_token("3.4x"));
+    assert!(is_speedup_token("0.9x"));
+    assert!(is_speedup_token("12x"));
+    assert!(!is_speedup_token("x"));
+    assert!(!is_speedup_token("matrix"));
+    assert!(!is_speedup_token("16x16"));
     assert_eq!(
-        normalize("step   wall-clock\n----  ------\n1. poll  12.3µs\n"),
-        "step wall-clock\n--- ---\n1. poll <T>\n"
+        normalize("step   wall-clock\n----  ------\n1. poll  12.3µs  1.3x\n"),
+        "step wall-clock\n--- ---\n1. poll <T> <X>\n"
     );
 }

@@ -31,6 +31,49 @@ pub enum ScrapeMode {
     /// Translate and read every heap page individually (a stronger attacker
     /// that survives physical-layout randomization).
     PerPage,
+    /// The contiguous-range read executed as `workers` concurrent per-bank
+    /// `devmem` loops over the sharded DRAM store
+    /// ([`zynq_dram::Dram::scrape_banks_parallel`]).
+    ///
+    /// Recovers exactly the bytes [`ScrapeMode::ContiguousRange`] recovers —
+    /// campaign results are pinned byte-identical across worker counts — but
+    /// shrinks the scrape wall clock, and with it the window in which
+    /// residue can decay under live traffic.
+    BankStriped {
+        /// Concurrent bank readers (must be non-zero; 1 degenerates to the
+        /// plain contiguous read).
+        workers: usize,
+    },
+}
+
+impl ScrapeMode {
+    /// `true` for the strategies that read one contiguous physical range
+    /// from the heap's endpoints (the paper's attacker and its bank-striped
+    /// variant), `false` for the per-page attacker.
+    pub fn reads_contiguous_range(self) -> bool {
+        matches!(
+            self,
+            ScrapeMode::ContiguousRange | ScrapeMode::BankStriped { .. }
+        )
+    }
+
+    /// Rejects modes that are invalid by construction — today only
+    /// [`ScrapeMode::BankStriped`] with zero workers, which every scrape
+    /// path refuses identically (the `workers` field is public, so specs can
+    /// carry the invalid value past the builder asserts).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same typed error a zero-worker DRAM operation produces
+    /// ([`zynq_dram::DramError::ZeroWorkers`] wrapped as a channel error).
+    pub fn validate(self) -> Result<(), crate::error::AttackError> {
+        if matches!(self, ScrapeMode::BankStriped { workers: 0 }) {
+            return Err(crate::error::AttackError::Channel(
+                petalinux_sim::KernelError::from(zynq_dram::DramError::ZeroWorkers),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for ScrapeMode {
@@ -38,6 +81,7 @@ impl std::fmt::Display for ScrapeMode {
         match self {
             ScrapeMode::ContiguousRange => write!(f, "contiguous-range"),
             ScrapeMode::PerPage => write!(f, "per-page"),
+            ScrapeMode::BankStriped { workers } => write!(f, "bank-striped({workers})"),
         }
     }
 }
@@ -527,6 +571,13 @@ mod tests {
         assert_eq!(ScrapeMode::default(), ScrapeMode::ContiguousRange);
         assert_eq!(ScrapeMode::ContiguousRange.to_string(), "contiguous-range");
         assert_eq!(ScrapeMode::PerPage.to_string(), "per-page");
+        assert_eq!(
+            ScrapeMode::BankStriped { workers: 4 }.to_string(),
+            "bank-striped(4)"
+        );
+        assert!(ScrapeMode::ContiguousRange.reads_contiguous_range());
+        assert!(ScrapeMode::BankStriped { workers: 2 }.reads_contiguous_range());
+        assert!(!ScrapeMode::PerPage.reads_contiguous_range());
         let pipeline = AttackPipeline::default();
         assert_eq!(pipeline.config(), &AttackConfig::default());
     }

@@ -27,7 +27,7 @@ use vitis_ai_sim::{CompletedRun, DpuRunner, Image, LaunchedRun, ModelKind, Runne
 use xsdb::DebugSession;
 use zynq_dram::{FrameNumber, PhysAddr, ScrubReport, PAGE_SIZE};
 
-use crate::attack::{AttackConfig, AttackPipeline, Observation, ScrapeMode};
+use crate::attack::{AttackConfig, AttackPipeline, Observation};
 use crate::dump::MemoryDump;
 use crate::error::AttackError;
 use crate::metrics::AttackOutcome;
@@ -815,22 +815,26 @@ impl<'a> BootedScenario<'a> {
         }
         let translation = observation.translation().clone();
         let mode = self.pipeline.config().scrape_mode;
+        mode.validate()?;
         let pid = translation.pid();
         // Mode-specific usability checks, mirroring `crate::scrape`: the
-        // endpoint attacker needs the first page resident, the per-page
-        // attacker needs any page at all.
-        let contiguous_start = match mode {
-            ScrapeMode::ContiguousRange => Some(
+        // endpoint attackers (contiguous and its bank-striped variant) need
+        // the first page resident, the per-page attacker needs any page at
+        // all.  Churn interleaves at page-chunk granularity, so the
+        // bank-striped fan-out has nothing to add inside a single page read
+        // — both contiguous attackers scrape chunk-identically here, which
+        // keeps LiveTraffic dumps byte-comparable across scrape modes.
+        let contiguous_start = if mode.reads_contiguous_range() {
+            Some(
                 translation
                     .phys_start()
                     .ok_or(AttackError::TranslationEmpty { pid })?,
-            ),
-            ScrapeMode::PerPage => {
-                if translation.present_pages() == 0 {
-                    return Err(AttackError::TranslationEmpty { pid });
-                }
-                None
+            )
+        } else {
+            if translation.present_pages() == 0 {
+                return Err(AttackError::TranslationEmpty { pid });
             }
+            None
         };
 
         let scrape_start = Instant::now();
@@ -861,43 +865,41 @@ impl<'a> BootedScenario<'a> {
             // dump is byte-comparable to a Single-schedule one: contiguous
             // reads clamp to the DRAM window and zero-pad, per-page reads
             // propagate channel errors.
-            match mode {
-                ScrapeMode::ContiguousRange => {
-                    let pa = contiguous_start.expect("checked for contiguous mode")
-                        + index as u64 * PAGE_SIZE;
-                    if pa < window.end() {
-                        let available = window.end().offset_from(pa).min(PAGE_SIZE) as usize;
-                        let mut bytes = debugger.read_phys_range(&self.kernel, pa, available)?;
-                        bytes.resize(PAGE_SIZE as usize, 0);
-                        captured.push(Some((pa, bytes)));
-                    } else {
-                        captured.push(None);
-                    }
+            if mode.reads_contiguous_range() {
+                let pa = contiguous_start.expect("checked for contiguous mode")
+                    + index as u64 * PAGE_SIZE;
+                if pa < window.end() {
+                    let available = window.end().offset_from(pa).min(PAGE_SIZE) as usize;
+                    let mut bytes = debugger.read_phys_range(&self.kernel, pa, available)?;
+                    bytes.resize(PAGE_SIZE as usize, 0);
+                    captured.push(Some((pa, bytes)));
+                } else {
+                    captured.push(None);
                 }
-                ScrapeMode::PerPage => match page {
+            } else {
+                match page {
                     Some(pa) => {
                         let bytes =
                             debugger.read_phys_range(&self.kernel, *pa, PAGE_SIZE as usize)?;
                         captured.push(Some((*pa, bytes)));
                     }
                     None => captured.push(None),
-                },
+                }
             }
         }
-        let dump = match mode {
-            ScrapeMode::ContiguousRange => {
-                let start = contiguous_start.expect("checked for contiguous mode");
-                let mut bytes = Vec::with_capacity(translation.heap_len() as usize);
-                for page in &captured {
-                    match page {
-                        Some((_, data)) => bytes.extend_from_slice(data),
-                        None => bytes.extend(std::iter::repeat_n(0u8, PAGE_SIZE as usize)),
-                    }
+        let dump = if mode.reads_contiguous_range() {
+            let start = contiguous_start.expect("checked for contiguous mode");
+            let mut bytes = Vec::with_capacity(translation.heap_len() as usize);
+            for page in &captured {
+                match page {
+                    Some((_, data)) => bytes.extend_from_slice(data),
+                    None => bytes.extend(std::iter::repeat_n(0u8, PAGE_SIZE as usize)),
                 }
-                bytes.truncate(translation.heap_len() as usize);
-                MemoryDump::from_contiguous(translation.heap_start(), start, bytes)
             }
-            ScrapeMode::PerPage => MemoryDump::from_pages(translation.heap_start(), captured),
+            bytes.truncate(translation.heap_len() as usize);
+            MemoryDump::from_contiguous(translation.heap_start(), start, bytes)
+        } else {
+            MemoryDump::from_pages(translation.heap_start(), captured)
         };
         Ok(self
             .pipeline
@@ -1031,6 +1033,7 @@ impl<'a> BootedScenario<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attack::ScrapeMode;
     use petalinux_sim::IsolationPolicy;
     use zynq_dram::SanitizePolicy;
 
@@ -1368,6 +1371,25 @@ mod tests {
             assert_eq!(via_pipeline.dump_coverage, via_churn_path.dump_coverage);
             assert_eq!(lifetime.churn_events, 0);
         }
+    }
+
+    #[test]
+    fn zero_worker_bank_striping_fails_under_live_traffic_too() {
+        // The churn scraper ignores the fan-out (it reads page chunks), but
+        // an invalid zero-worker mode must fail here exactly like it does on
+        // the single-sweep path — not silently succeed.
+        let result = AttackScenario::new(BoardConfig::tiny_for_tests(), ModelKind::SqueezeNet)
+            .with_attack_config(AttackConfig {
+                scrape_mode: ScrapeMode::BankStriped { workers: 0 },
+                ..AttackConfig::default()
+            })
+            .with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 1,
+                churn_rate: 1,
+            })
+            .execute();
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("zero workers"), "{err}");
     }
 
     #[test]

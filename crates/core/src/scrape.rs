@@ -17,13 +17,16 @@ use crate::translate::HeapTranslation;
 /// [`DebugSession::is_running`] first (the [`crate::attack::AttackPipeline`]
 /// does, and returns [`AttackError::VictimStillRunning`] otherwise).
 ///
-/// Two read strategies are supported:
+/// Three read strategies are supported:
 ///
 /// - [`ScrapeMode::ContiguousRange`] — the paper's method: translate only the
 ///   heap's endpoints and read the physical range between them in one sweep.
 ///   Correct whenever the kernel hands out physically contiguous frames for a
 ///   contiguous heap (the PetaLinux default), cheap, but defeated by
 ///   physical-layout randomization.
+/// - [`ScrapeMode::BankStriped`] — the same contiguous read executed as
+///   concurrent per-bank `devmem` loops over the sharded DRAM store;
+///   byte-identical to the contiguous sweep, faster on large heaps.
 /// - [`ScrapeMode::PerPage`] — translate and read every page individually; a
 ///   stronger attacker that tolerates scattered physical layouts.
 ///
@@ -38,8 +41,12 @@ pub fn scrape_heap(
     translation: &HeapTranslation,
     mode: ScrapeMode,
 ) -> Result<MemoryDump, AttackError> {
+    mode.validate()?;
     match mode {
-        ScrapeMode::ContiguousRange => scrape_contiguous(debugger, kernel, translation),
+        ScrapeMode::ContiguousRange => scrape_contiguous(debugger, kernel, translation, None),
+        ScrapeMode::BankStriped { workers } => {
+            scrape_contiguous(debugger, kernel, translation, Some(workers))
+        }
         ScrapeMode::PerPage => scrape_per_page(debugger, kernel, translation),
     }
 }
@@ -48,6 +55,7 @@ fn scrape_contiguous(
     debugger: &mut DebugSession,
     kernel: &Kernel,
     translation: &HeapTranslation,
+    bank_workers: Option<usize>,
 ) -> Result<MemoryDump, AttackError> {
     let start = translation
         .phys_start()
@@ -63,7 +71,10 @@ fn scrape_contiguous(
     // the real attack's devmem loop would simply get errors for those words.
     let window_end = kernel.config().dram().end();
     let available = window_end.offset_from(start).min(len as u64) as usize;
-    let bytes = debugger.read_phys_range(kernel, start, available)?;
+    let bytes = match bank_workers {
+        Some(workers) => debugger.read_phys_range_banked(kernel, start, available, workers)?,
+        None => debugger.read_phys_range(kernel, start, available)?,
+    };
     let mut padded = bytes;
     padded.resize(len, 0);
     Ok(MemoryDump::from_contiguous(
@@ -136,6 +147,48 @@ mod tests {
         assert!(!hex.grep("squeezenet").is_empty());
         let marker_offset = hex.find(&[0xFF; 16]).unwrap() as u64;
         assert_eq!(marker_offset, run.layout().image_offset);
+    }
+
+    #[test]
+    fn bank_striped_mode_is_byte_identical_to_contiguous() {
+        let (kernel, _run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let contiguous =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let striped = scrape_heap(
+                &mut dbg,
+                &kernel,
+                &translation,
+                ScrapeMode::BankStriped { workers },
+            )
+            .unwrap();
+            assert_eq!(
+                contiguous.as_bytes(),
+                striped.as_bytes(),
+                "workers={workers}"
+            );
+            assert_eq!(contiguous.coverage(), striped.coverage());
+        }
+    }
+
+    #[test]
+    fn zero_worker_bank_striping_is_rejected_up_front() {
+        // `workers` is a public field, so an invalid mode can reach the
+        // scrape without passing any builder assert; every path refuses it
+        // with the same channel error (before touching memory — even an
+        // empty heap must not make the invalid mode silently succeed).
+        let (kernel, _run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let err = scrape_heap(
+            &mut dbg,
+            &kernel,
+            &translation,
+            ScrapeMode::BankStriped { workers: 0 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AttackError::Channel(_)), "{err}");
+        assert!(err.to_string().contains("zero workers"));
     }
 
     #[test]

@@ -60,6 +60,28 @@ impl DdrGeometry {
     pub const fn bank_bytes(&self) -> u64 {
         1u64 << (self.column_bits + self.row_bits)
     }
+
+    /// Number of distinct banks (ranks × bank groups × banks per group).
+    pub const fn bank_count(&self) -> u64 {
+        1u64 << (self.bank_bits + self.bank_group_bits + self.rank_bits)
+    }
+
+    /// The flat bank id (rank, bank group, bank — the
+    /// [`DdrCoordinates::bank_id`](crate::DdrCoordinates::bank_id) packing)
+    /// holding a given global bank stripe (window offset / [`row_bytes`]).
+    ///
+    /// This is the single definition of the stripe → bank routing; the
+    /// mapping layer and the sharded store both delegate here.  A total
+    /// function — out-of-geometry stripe indices wrap via the bit masks.
+    ///
+    /// [`row_bytes`]: DdrGeometry::row_bytes
+    pub const fn bank_of_stripe(&self, stripe: u64) -> u64 {
+        let bank_group = stripe & ((1 << self.bank_group_bits) - 1);
+        let bank = (stripe >> self.bank_group_bits) & ((1 << self.bank_bits) - 1);
+        let rank = (stripe >> (self.bank_group_bits + self.bank_bits + self.row_bits))
+            & ((1 << self.rank_bits) - 1);
+        (rank << (self.bank_group_bits + self.bank_bits)) | (bank_group << self.bank_bits) | bank
+    }
 }
 
 impl Default for DdrGeometry {

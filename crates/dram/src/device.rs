@@ -1,6 +1,22 @@
 //! The DRAM device: byte-accurate storage plus residue (ownership) tracking.
+//!
+//! # Bank-sharded backing store
+//!
+//! Storage is sharded by DRAM bank: the window is cut into naturally aligned
+//! *bank stripes* (one DRAM row, [`DdrMapping::stripe_bytes`] bytes), each of
+//! which lives wholly inside one bank of the interleaved geometry, and every
+//! stripe is stored in the shard of the bank that owns it.  All accesses are
+//! split at bank boundaries and routed through the bank-local shards, which
+//! is what makes the bank-parallel paths ([`Dram::scrub_banks_parallel`],
+//! [`Dram::scrape_banks_parallel`]) safe: a worker that owns a disjoint set
+//! of bank shards can zero its stripes without synchronizing with the others.
+//!
+//! The sharded store is observationally identical to the flat frame map it
+//! replaced — same bytes, same ownership transitions, same
+//! [`DramStats`] counters — which is pinned by the differential harness in
+//! `tests/dram_sharding_equivalence.rs`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -8,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use crate::addr::{FrameNumber, PhysAddr, PAGE_SIZE};
 use crate::config::DramConfig;
 use crate::error::DramError;
+use crate::mapping::DdrMapping;
 use crate::stats::DramStats;
 
 /// Identifies the software entity (in practice: a process id) that owns the
@@ -54,10 +71,19 @@ pub struct FrameOwnership {
     pub live: bool,
 }
 
+/// One bank's shard of the backing store: the stripes of this bank that have
+/// been written at least once, keyed by global stripe index.
+#[derive(Debug, Clone, Default)]
+struct BankShard {
+    stripes: HashMap<u64, Box<[u8]>>,
+}
+
 /// The simulated DRAM device.
 ///
-/// Storage is sparse: frames are materialized on first write, so a 2 GiB
-/// window costs memory proportional to the bytes actually touched.
+/// Storage is sparse and bank-sharded: bank stripes are materialized on first
+/// write, so a 2 GiB window costs memory proportional to the bytes actually
+/// touched, and very large boards no longer serialize every access on one
+/// flat frame map.
 ///
 /// # Example
 ///
@@ -75,7 +101,12 @@ pub struct FrameOwnership {
 #[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
-    frames: HashMap<u64, Box<[u8]>>,
+    /// Bytes per bank stripe (one DRAM row); every stripe lives in one bank.
+    stripe_bytes: u64,
+    /// One shard per (rank, bank group, bank), indexed by flat bank id.
+    banks: Vec<BankShard>,
+    /// Frames that have been materialized (written at least once).
+    materialized: HashSet<u64>,
     ownership: HashMap<u64, FrameOwnership>,
     stats: DramStats,
 }
@@ -83,9 +114,13 @@ pub struct Dram {
 impl Dram {
     /// Creates an empty (all-zero) DRAM with the given configuration.
     pub fn new(config: DramConfig) -> Self {
+        let mapping = DdrMapping::new(config);
+        let bank_count = mapping.bank_count() as usize;
         Dram {
             config,
-            frames: HashMap::new(),
+            stripe_bytes: mapping.stripe_bytes(),
+            banks: vec![BankShard::default(); bank_count],
+            materialized: HashSet::new(),
             ownership: HashMap::new(),
             stats: DramStats::default(),
         }
@@ -106,8 +141,55 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    /// Number of bank shards backing the store
+    /// (ranks × bank groups × banks per group).
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Bytes per bank stripe — the granularity at which requests are split
+    /// across bank shards (one DRAM row).
+    pub fn stripe_bytes(&self) -> u64 {
+        self.stripe_bytes
+    }
+
+    /// Number of stripes currently materialized in each bank shard, indexed
+    /// by flat bank id (the store-utilization view the `--banks` experiment
+    /// table reports).
+    pub fn bank_stripe_counts(&self) -> Vec<usize> {
+        self.banks.iter().map(|b| b.stripes.len()).collect()
+    }
+
+    /// Total number of materialized bank stripes across all shards.
+    pub fn materialized_stripes(&self) -> usize {
+        self.banks.iter().map(|b| b.stripes.len()).sum()
+    }
+
     fn frame_index(&self, addr: PhysAddr) -> u64 {
         addr.offset_from(self.config.base()) / PAGE_SIZE
+    }
+
+    /// The bank shard holding `stripe` (the single
+    /// [`DdrGeometry::bank_of_stripe`](crate::config::DdrGeometry::bank_of_stripe)
+    /// routing definition, shared with the mapping layer).
+    fn stripe_bank(&self, stripe: u64) -> usize {
+        self.config.geometry().bank_of_stripe(stripe) as usize
+    }
+
+    fn stripe(&self, stripe: u64) -> Option<&[u8]> {
+        self.banks[self.stripe_bank(stripe)]
+            .stripes
+            .get(&stripe)
+            .map(|b| &b[..])
+    }
+
+    fn stripe_mut(&mut self, stripe: u64) -> &mut [u8] {
+        let bank = self.stripe_bank(stripe);
+        let bytes = self.stripe_bytes as usize;
+        self.banks[bank]
+            .stripes
+            .entry(stripe)
+            .or_insert_with(|| vec![0u8; bytes].into_boxed_slice())
     }
 
     fn check_range(&self, addr: PhysAddr, len: u64) -> Result<(), DramError> {
@@ -137,14 +219,17 @@ impl Dram {
     /// Returns [`DramError::OutOfRange`] if the address is outside the window.
     pub fn read_u8(&self, addr: PhysAddr) -> Result<u8, DramError> {
         self.check_range(addr, 1)?;
-        let idx = self.frame_index(addr);
-        let offset = addr.page_offset() as usize;
-        Ok(self.frames.get(&idx).map(|f| f[offset]).unwrap_or(0))
+        let rel = addr.offset_from(self.config.base());
+        let offset = (rel % self.stripe_bytes) as usize;
+        Ok(self
+            .stripe(rel / self.stripe_bytes)
+            .map(|s| s[offset])
+            .unwrap_or(0))
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
     ///
-    /// Unmaterialized frames read as zero, matching DRAM that has been
+    /// Unmaterialized stripes read as zero, matching DRAM that has been
     /// initialized once at power-on.
     ///
     /// # Errors
@@ -152,20 +237,27 @@ impl Dram {
     /// Returns [`DramError::OutOfRange`] if any byte falls outside the window.
     pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), DramError> {
         self.check_range(addr, buf.len() as u64)?;
-        // One frame lookup per touched page, bulk-copying page-sized chunks.
+        self.read_bytes_unchecked(addr, buf);
+        Ok(())
+    }
+
+    /// The range-checked body of [`Dram::read_bytes`]: one shard lookup per
+    /// touched bank stripe, bulk-copying stripe-sized chunks.
+    fn read_bytes_unchecked(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let base = self.config.base();
+        let sb = self.stripe_bytes;
         let mut cursor = 0usize;
         while cursor < buf.len() {
-            let a = addr + cursor as u64;
-            let offset = a.page_offset() as usize;
-            let chunk = (PAGE_SIZE as usize - offset).min(buf.len() - cursor);
+            let rel = (addr + cursor as u64).offset_from(base);
+            let offset = (rel % sb) as usize;
+            let chunk = (sb as usize - offset).min(buf.len() - cursor);
             let dst = &mut buf[cursor..cursor + chunk];
-            match self.frames.get(&self.frame_index(a)) {
-                Some(frame) => dst.copy_from_slice(&frame[offset..offset + chunk]),
+            match self.stripe(rel / sb) {
+                Some(stripe) => dst.copy_from_slice(&stripe[offset..offset + chunk]),
                 None => dst.fill(0),
             }
             cursor += chunk;
         }
-        Ok(())
     }
 
     /// Reads a naturally aligned little-endian 32-bit word (the access
@@ -195,15 +287,88 @@ impl Dram {
         Ok(u64::from_le_bytes(buf))
     }
 
-    fn frame_mut(&mut self, idx: u64) -> &mut Box<[u8]> {
-        self.frames
-            .entry(idx)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    /// Bank-parallel scrape: fills `buf` from `addr` exactly like
+    /// [`Dram::read_bytes`], but fans the copy across `workers` scoped
+    /// threads, each reading a stripe-aligned contiguous slice of the range
+    /// from the (read-only, shareable) bank shards.
+    ///
+    /// The result is **byte-identical** to the sequential read; only the
+    /// wall clock differs.  One worker degenerates to the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::ZeroWorkers`] for an empty worker pool and
+    /// [`DramError::OutOfRange`] under the same conditions as
+    /// [`Dram::read_bytes`].
+    pub fn scrape_banks_parallel(
+        &self,
+        addr: PhysAddr,
+        buf: &mut [u8],
+        workers: usize,
+    ) -> Result<(), DramError> {
+        if workers == 0 {
+            return Err(DramError::ZeroWorkers);
+        }
+        self.check_range(addr, buf.len() as u64)?;
+        if workers == 1 || buf.len() as u64 <= self.stripe_bytes {
+            self.read_bytes_unchecked(addr, buf);
+            return Ok(());
+        }
+        // Split the output into stripe-aligned contiguous pieces, one per
+        // worker; consecutive stripes rotate through the bank groups, so each
+        // piece naturally spreads over many banks.
+        let sb = self.stripe_bytes;
+        let first_stripe = addr.offset_from(self.config.base()) / sb;
+        let last_stripe = (addr + (buf.len() as u64 - 1)).offset_from(self.config.base()) / sb;
+        let stripes = last_stripe - first_stripe + 1;
+        let stripes_per_worker = stripes.div_ceil(workers as u64);
+
+        std::thread::scope(|scope| {
+            let mut rest = buf;
+            let mut piece_addr = addr;
+            for w in 0..workers {
+                if rest.is_empty() {
+                    break;
+                }
+                // Bytes from `piece_addr` to the end of this worker's stripe
+                // allotment.
+                let alloc_end_stripe = first_stripe + (w as u64 + 1) * stripes_per_worker;
+                let alloc_end =
+                    self.config.base() + (alloc_end_stripe * sb).min(self.config.capacity());
+                let piece_len = alloc_end.offset_from(piece_addr).min(rest.len() as u64) as usize;
+                let (piece, tail) = rest.split_at_mut(piece_len);
+                rest = tail;
+                let start = piece_addr;
+                scope.spawn(move || self.read_bytes_unchecked(start, piece));
+                piece_addr += piece_len as u64;
+            }
+            // Any residue (rounding) is handled by the last allotment covering
+            // the full tail; assert the split was exhaustive.
+            debug_assert!(
+                rest.is_empty(),
+                "parallel scrape split must cover the range"
+            );
+        });
+        Ok(())
     }
 
     fn tag_frame(&mut self, idx: u64, owner: OwnerTag) {
         self.ownership
             .insert(idx, FrameOwnership { owner, live: true });
+    }
+
+    /// Tags and materializes every frame overlapping `[addr, addr + len)`,
+    /// preserving the frame-granular ownership semantics of the flat store.
+    fn tag_written_frames(&mut self, addr: PhysAddr, len: u64, owner: OwnerTag) {
+        if len == 0 {
+            return;
+        }
+        let first = self.frame_index(addr);
+        let last = self.frame_index(addr + (len - 1));
+        for idx in first..=last {
+            self.materialized.insert(idx);
+            self.tag_frame(idx, owner);
+        }
     }
 
     /// Writes a single byte on behalf of `owner`.
@@ -218,10 +383,10 @@ impl Dram {
         owner: OwnerTag,
     ) -> Result<(), DramError> {
         self.check_range(addr, 1)?;
-        let idx = self.frame_index(addr);
-        let offset = addr.page_offset() as usize;
-        self.frame_mut(idx)[offset] = value;
-        self.tag_frame(idx, owner);
+        let rel = addr.offset_from(self.config.base());
+        let offset = (rel % self.stripe_bytes) as usize;
+        self.stripe_mut(rel / self.stripe_bytes)[offset] = value;
+        self.tag_written_frames(addr, 1, owner);
         self.stats.record_write(1);
         Ok(())
     }
@@ -238,18 +403,20 @@ impl Dram {
         owner: OwnerTag,
     ) -> Result<(), DramError> {
         self.check_range(addr, data.len() as u64)?;
-        // One frame materialization + ownership tag per touched page.
+        // One shard materialization per touched bank stripe, bulk-copying
+        // stripe-sized chunks; ownership stays frame-granular.
+        let base = self.config.base();
+        let sb = self.stripe_bytes;
         let mut cursor = 0usize;
         while cursor < data.len() {
-            let a = addr + cursor as u64;
-            let idx = self.frame_index(a);
-            let offset = a.page_offset() as usize;
-            let chunk = (PAGE_SIZE as usize - offset).min(data.len() - cursor);
-            self.frame_mut(idx)[offset..offset + chunk]
+            let rel = (addr + cursor as u64).offset_from(base);
+            let offset = (rel % sb) as usize;
+            let chunk = (sb as usize - offset).min(data.len() - cursor);
+            self.stripe_mut(rel / sb)[offset..offset + chunk]
                 .copy_from_slice(&data[cursor..cursor + chunk]);
-            self.tag_frame(idx, owner);
             cursor += chunk;
         }
+        self.tag_written_frames(addr, data.len() as u64, owner);
         self.stats.record_write(data.len() as u64);
         Ok(())
     }
@@ -304,18 +471,81 @@ impl Dram {
             return Err(DramError::EmptyRange { addr });
         }
         self.check_range(addr, len)?;
+        let base = self.config.base();
+        let sb = self.stripe_bytes;
         let mut cursor = 0u64;
         while cursor < len {
-            let a = addr + cursor;
-            let idx = self.frame_index(a);
-            let offset = a.page_offset() as usize;
-            let chunk = (PAGE_SIZE - offset as u64).min(len - cursor) as usize;
-            self.frame_mut(idx)[offset..offset + chunk].fill(byte);
-            self.tag_frame(idx, owner);
+            let rel = (addr + cursor).offset_from(base);
+            let offset = (rel % sb) as usize;
+            let chunk = ((sb - offset as u64).min(len - cursor)) as usize;
+            self.stripe_mut(rel / sb)[offset..offset + chunk].fill(byte);
             cursor += chunk as u64;
         }
+        self.tag_written_frames(addr, len, owner);
         self.stats.record_write(len);
         Ok(())
+    }
+
+    /// `true` when every byte of frame `idx` is zero (absent stripes count
+    /// as zero).
+    fn frame_is_zero(&self, idx: u64) -> bool {
+        if !self.materialized.contains(&idx) {
+            return true;
+        }
+        let sb = self.stripe_bytes;
+        let frame_start = idx * PAGE_SIZE;
+        let frame_end = frame_start + PAGE_SIZE;
+        let mut rel = frame_start;
+        while rel < frame_end {
+            let offset = rel % sb;
+            let chunk = (sb - offset).min(frame_end - rel);
+            if let Some(stripe) = self.stripe(rel / sb) {
+                let slice = &stripe[offset as usize..(offset + chunk) as usize];
+                if slice.iter().any(|&b| b != 0) {
+                    return false;
+                }
+            }
+            rel += chunk;
+        }
+        true
+    }
+
+    /// Zeroes the covered slices of every *materialized* stripe in
+    /// `[addr, addr + len)`; absent stripes are already zero.
+    fn zero_stripes(&mut self, addr: PhysAddr, len: u64) {
+        let base = self.config.base();
+        let sb = self.stripe_bytes;
+        let mut cursor = 0u64;
+        while cursor < len {
+            let rel = (addr + cursor).offset_from(base);
+            let offset = (rel % sb) as usize;
+            let chunk = ((sb - offset as u64).min(len - cursor)) as usize;
+            let stripe = rel / sb;
+            let bank = self.stripe_bank(stripe);
+            if let Some(buf) = self.banks[bank].stripes.get_mut(&stripe) {
+                buf[offset..offset + chunk].fill(0);
+            }
+            cursor += chunk as u64;
+        }
+    }
+
+    /// Drops the ownership record of every frame in `[addr, addr + len)` that
+    /// the scrub left entirely zero (row- or bank-granular sanitizers clear a
+    /// frame across several sub-page calls; the attribution should disappear
+    /// once nothing of the owner's data remains).
+    fn drop_zeroed_ownership(&mut self, addr: PhysAddr, len: u64) {
+        let first = self.frame_index(addr);
+        let last = self.frame_index(addr + (len - 1));
+        let rel_start = addr.offset_from(self.config.base());
+        let rel_end = rel_start + len;
+        for idx in first..=last {
+            // A frame fully covered by the scrub is zero by construction; a
+            // partially covered one must be scanned.
+            let fully_covered = idx * PAGE_SIZE >= rel_start && (idx + 1) * PAGE_SIZE <= rel_end;
+            if fully_covered || self.frame_is_zero(idx) {
+                self.ownership.remove(&idx);
+            }
+        }
     }
 
     /// Zeroes `len` bytes starting at `addr` **as a sanitizer** (the write is
@@ -333,31 +563,81 @@ impl Dram {
             return Err(DramError::EmptyRange { addr });
         }
         self.check_range(addr, len)?;
-        // One pass, page-sized chunks: zero the covered slice of each
-        // materialized frame, then drop the ownership record of every frame
-        // left entirely zero (row- or bank-granular sanitizers clear a frame
-        // across several sub-page calls; the attribution should disappear
-        // once nothing of the owner's data remains).
-        let mut cursor = 0u64;
-        while cursor < len {
-            let a = addr + cursor;
-            let idx = self.frame_index(a);
-            let offset = a.page_offset() as usize;
-            let chunk = (PAGE_SIZE - offset as u64).min(len - cursor) as usize;
-            let empty = match self.frames.get_mut(&idx) {
-                Some(frame) => {
-                    frame[offset..offset + chunk].fill(0);
-                    // A fully covered frame is empty by construction; a
-                    // partially covered one must be scanned.
-                    chunk == PAGE_SIZE as usize || frame.iter().all(|&b| b == 0)
-                }
-                None => true,
-            };
-            if empty {
-                self.ownership.remove(&idx);
-            }
-            cursor += chunk as u64;
+        self.zero_stripes(addr, len);
+        self.drop_zeroed_ownership(addr, len);
+        self.stats.record_scrub(len);
+        Ok(())
+    }
+
+    /// Bank-parallel scrub: zeroes `[addr, addr + len)` exactly like
+    /// [`Dram::scrub_range`], but fans the zeroing across `workers` scoped
+    /// threads, each owning a disjoint contiguous block of bank shards.
+    ///
+    /// Every stripe belongs to exactly one bank (the partition
+    /// [`DdrMapping::split_at_bank_boundaries`] exposes), so the workers
+    /// never touch the same buffer; the frame-granular ownership pass runs
+    /// once afterwards, serially.  The result — contents, ownership and the
+    /// byte/op counters of [`DramStats`] — is **identical** to the
+    /// sequential scrub; only the wall clock and the fan-out telemetry
+    /// ([`DramStats::parallel_scrub_ops`]) differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::ZeroWorkers`] for an empty worker pool, plus the
+    /// same errors as [`Dram::scrub_range`].
+    pub fn scrub_banks_parallel(
+        &mut self,
+        addr: PhysAddr,
+        len: u64,
+        workers: usize,
+    ) -> Result<(), DramError> {
+        if workers == 0 {
+            return Err(DramError::ZeroWorkers);
         }
+        if len == 0 {
+            return Err(DramError::EmptyRange { addr });
+        }
+        self.check_range(addr, len)?;
+        let workers = workers.min(self.banks.len());
+        if workers <= 1 {
+            self.zero_stripes(addr, len);
+        } else {
+            let sb = self.stripe_bytes;
+            let base = self.config.base();
+            let first_stripe = addr.offset_from(base) / sb;
+            let last_stripe = (addr + (len - 1)).offset_from(base) / sb;
+            let rel_start = addr.offset_from(base);
+            let rel_end = rel_start + len;
+            let banks_per_worker = self.banks.len().div_ceil(workers);
+            // chunks_mut can produce fewer blocks than requested workers when
+            // the bank count does not divide evenly; telemetry records the
+            // threads that actually run.
+            let spawned = self.banks.len().div_ceil(banks_per_worker);
+
+            std::thread::scope(|scope| {
+                for shard_block in self.banks.chunks_mut(banks_per_worker) {
+                    scope.spawn(move || {
+                        // Each shard holds only its own bank's stripes, so a
+                        // worker just walks the materialized stripes of its
+                        // block and zeroes the covered slices — O(materialized
+                        // stripes), no per-stripe bank arithmetic.
+                        for shard in shard_block {
+                            for (&stripe, buf) in shard.stripes.iter_mut() {
+                                if stripe < first_stripe || stripe > last_stripe {
+                                    continue;
+                                }
+                                let stripe_start = stripe * sb;
+                                let from = rel_start.max(stripe_start) - stripe_start;
+                                let to = rel_end.min(stripe_start + sb) - stripe_start;
+                                buf[from as usize..to as usize].fill(0);
+                            }
+                        }
+                    });
+                }
+            });
+            self.stats.record_parallel_scrub(spawned);
+        }
+        self.drop_zeroed_ownership(addr, len);
         self.stats.record_scrub(len);
         Ok(())
     }
@@ -406,6 +686,30 @@ impl Dram {
             .map(move |(idx, rec)| (FrameNumber::new(first + idx), rec.owner))
     }
 
+    /// Non-zero bytes of frame `idx`, gathered across its bank stripes.
+    fn frame_nonzero_bytes(&self, idx: u64) -> u64 {
+        if !self.materialized.contains(&idx) {
+            return 0;
+        }
+        let sb = self.stripe_bytes;
+        let frame_start = idx * PAGE_SIZE;
+        let frame_end = frame_start + PAGE_SIZE;
+        let mut count = 0u64;
+        let mut rel = frame_start;
+        while rel < frame_end {
+            let offset = rel % sb;
+            let chunk = (sb - offset).min(frame_end - rel);
+            if let Some(stripe) = self.stripe(rel / sb) {
+                count += stripe[offset as usize..(offset + chunk) as usize]
+                    .iter()
+                    .filter(|&&b| b != 0)
+                    .count() as u64;
+            }
+            rel += chunk;
+        }
+        count
+    }
+
     /// Total number of bytes that differ from zero in residue frames.
     ///
     /// This is the quantity the defense experiments report as "recoverable
@@ -414,18 +718,13 @@ impl Dram {
         self.ownership
             .iter()
             .filter(|(_, rec)| !rec.live)
-            .map(|(idx, _)| {
-                self.frames
-                    .get(idx)
-                    .map(|f| f.iter().filter(|&&b| b != 0).count() as u64)
-                    .unwrap_or(0)
-            })
+            .map(|(idx, _)| self.frame_nonzero_bytes(*idx))
             .sum()
     }
 
     /// Number of frames that have been materialized (written at least once).
     pub fn materialized_frames(&self) -> usize {
-        self.frames.len()
+        self.materialized.len()
     }
 }
 
@@ -471,6 +770,36 @@ mod tests {
         d.read_bytes(addr, &mut back).unwrap();
         assert_eq!(back, data);
         assert_eq!(d.materialized_frames(), 2);
+    }
+
+    #[test]
+    fn bytes_roundtrip_across_bank_boundaries() {
+        // A write spanning several bank stripes lands in several shards and
+        // reads back bit-exactly.
+        let mut d = dram();
+        let owner = OwnerTag::new(9);
+        let sb = d.stripe_bytes();
+        let addr = d.config().base() + sb - 5;
+        let data: Vec<u8> = (0..(3 * sb + 10)).map(|i| (i % 251) as u8 + 1).collect();
+        d.write_bytes(addr, &data, owner).unwrap();
+        let mut back = vec![0u8; data.len()];
+        d.read_bytes(addr, &mut back).unwrap();
+        assert_eq!(back, data);
+        // The stripes really are distributed over more than one bank shard.
+        let touched: usize = d.bank_stripe_counts().iter().filter(|&&c| c > 0).count();
+        assert!(touched > 1, "expected multiple bank shards, got {touched}");
+        assert!(d.materialized_stripes() >= 4);
+    }
+
+    #[test]
+    fn bank_shard_layout_matches_the_mapping() {
+        let d = dram();
+        let mapping = DdrMapping::new(*d.config());
+        assert_eq!(d.bank_count() as u64, mapping.bank_count());
+        assert_eq!(d.stripe_bytes(), mapping.stripe_bytes());
+        for stripe in 0..256 {
+            assert_eq!(d.stripe_bank(stripe) as u64, mapping.bank_of_stripe(stripe));
+        }
     }
 
     #[test]
@@ -581,10 +910,32 @@ mod tests {
             d.scrub_range(base, 0),
             Err(DramError::EmptyRange { .. })
         ));
+        assert!(matches!(
+            d.scrub_banks_parallel(base, 0, 4),
+            Err(DramError::EmptyRange { .. })
+        ));
         // Nothing was recorded for the rejected calls.
         assert_eq!(d.stats().bytes_written(), 0);
         assert_eq!(d.stats().bytes_scrubbed(), 0);
         assert_eq!(d.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn zero_worker_parallel_ops_are_rejected() {
+        let mut d = dram();
+        let base = d.config().base();
+        d.fill(base, PAGE_SIZE, 0xEE, OwnerTag::new(1)).unwrap();
+        assert!(matches!(
+            d.scrub_banks_parallel(base, PAGE_SIZE, 0),
+            Err(DramError::ZeroWorkers)
+        ));
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        assert!(matches!(
+            d.scrape_banks_parallel(base, &mut buf, 0),
+            Err(DramError::ZeroWorkers)
+        ));
+        // The data survived the rejected scrub.
+        assert_eq!(d.read_u8(base).unwrap(), 0xEE);
     }
 
     #[test]
@@ -608,18 +959,24 @@ mod tests {
             d.scrub_range(start, u64::MAX),
             Err(DramError::LengthOverflow { .. })
         ));
+        assert!(matches!(
+            d.scrub_banks_parallel(start, u64::MAX, 4),
+            Err(DramError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
     fn empty_bulk_copies_remain_harmless_noops() {
-        // The bulk read/write paths (one frame lookup per touched page) accept
-        // zero-length buffers: reading or writing nothing is well-defined and
-        // callers (page loops) reach it naturally at range edges.
+        // The bulk read/write paths (one shard lookup per touched stripe)
+        // accept zero-length buffers: reading or writing nothing is
+        // well-defined and callers (page loops) reach it naturally at range
+        // edges.
         let mut d = dram();
         let base = d.config().base();
         d.write_bytes(base, &[], OwnerTag::new(1)).unwrap();
         let mut empty: [u8; 0] = [];
         d.read_bytes(base, &mut empty).unwrap();
+        d.scrape_banks_parallel(base, &mut empty, 4).unwrap();
         assert_eq!(d.materialized_frames(), 0);
         assert!(d.frame_ownership(base.frame_number()).is_none());
         // At the last valid byte of the window, too.
@@ -637,6 +994,74 @@ mod tests {
         assert_eq!(d.stats().bytes_scrubbed(), 3);
         d.reset_stats();
         assert_eq!(d.stats().bytes_written(), 0);
+    }
+
+    #[test]
+    fn parallel_scrub_matches_sequential_scrub_exactly() {
+        let pattern = |d: &mut Dram| {
+            let base = d.config().base();
+            let owner = OwnerTag::new(42);
+            let other = OwnerTag::new(77);
+            // Victim data across several frames and bank stripes, plus a
+            // live neighbour that must stay attributed.
+            d.fill(base, 5 * PAGE_SIZE + 123, 0xEE, owner).unwrap();
+            d.write_bytes(base + 7 * PAGE_SIZE, &[0xAB; 300], other)
+                .unwrap();
+            d.retire_owner(owner);
+        };
+        let mut serial = dram();
+        pattern(&mut serial);
+        let mut parallel = dram();
+        pattern(&mut parallel);
+
+        let base = serial.config().base();
+        // Scrub a range that starts and ends mid-frame and mid-stripe.
+        let start = base + 100;
+        let len = 4 * PAGE_SIZE + 777;
+        serial.scrub_range(start, len).unwrap();
+        parallel.scrub_banks_parallel(start, len, 4).unwrap();
+
+        let mut a = vec![0u8; 9 * PAGE_SIZE as usize];
+        let mut b = vec![0u8; 9 * PAGE_SIZE as usize];
+        serial.read_bytes(base, &mut a).unwrap();
+        parallel.read_bytes(base, &mut b).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(serial.residue_bytes(), parallel.residue_bytes());
+        assert_eq!(
+            serial.stats().bytes_scrubbed(),
+            parallel.stats().bytes_scrubbed()
+        );
+        assert_eq!(serial.stats().scrub_ops(), parallel.stats().scrub_ops());
+        for frame in 0..9u64 {
+            let f = (base + frame * PAGE_SIZE).frame_number();
+            assert_eq!(serial.frame_ownership(f), parallel.frame_ownership(f));
+        }
+        // Fan-out telemetry is the only difference.
+        assert_eq!(serial.stats().parallel_scrub_ops(), 0);
+        assert_eq!(parallel.stats().parallel_scrub_ops(), 1);
+        assert_eq!(parallel.stats().peak_scrub_workers(), 4);
+    }
+
+    #[test]
+    fn parallel_scrape_matches_sequential_read_exactly() {
+        let mut d = dram();
+        let base = d.config().base();
+        let data: Vec<u8> = (0..6 * PAGE_SIZE + 991).map(|i| (i % 255) as u8).collect();
+        d.write_bytes(base + 17, &data, OwnerTag::new(3)).unwrap();
+
+        let len = 8 * PAGE_SIZE as usize;
+        let mut serial = vec![0u8; len];
+        d.read_bytes(base, &mut serial).unwrap();
+        for workers in [1usize, 2, 3, 4, 7] {
+            let mut parallel = vec![0u8; len];
+            d.scrape_banks_parallel(base, &mut parallel, workers)
+                .unwrap();
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // Worker counts beyond the stripe count still cover the range.
+        let mut tiny = vec![0u8; 10];
+        d.scrape_banks_parallel(base + 5, &mut tiny, 64).unwrap();
+        assert_eq!(tiny, serial[5..15]);
     }
 
     #[test]
@@ -684,6 +1109,37 @@ mod tests {
             let mut back = vec![0u8; len as usize];
             d.read_bytes(addr, &mut back).unwrap();
             prop_assert!(back.iter().all(|&b| b == 0));
+        }
+
+        #[test]
+        fn prop_parallel_scrub_equals_sequential(offset in 0u64..(16*1024*1024 - 64*1024), len in 1u64..(64*1024), workers in 1usize..9) {
+            let mut serial = dram();
+            let mut parallel = dram();
+            let addr = serial.config().base() + offset;
+            for d in [&mut serial, &mut parallel] {
+                d.fill(addr, len, 0xD7, OwnerTag::new(11)).unwrap();
+                d.retire_owner(OwnerTag::new(11));
+            }
+            serial.scrub_range(addr, len).unwrap();
+            parallel.scrub_banks_parallel(addr, len, workers).unwrap();
+            let mut a = vec![0u8; len as usize];
+            let mut b = vec![0u8; len as usize];
+            serial.read_bytes(addr, &mut a).unwrap();
+            parallel.read_bytes(addr, &mut b).unwrap();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(serial.residue_bytes(), parallel.residue_bytes());
+        }
+
+        #[test]
+        fn prop_parallel_scrape_equals_sequential(offset in 0u64..(16*1024*1024 - 64*1024), len in 1usize..(64*1024), workers in 1usize..9) {
+            let mut d = dram();
+            let addr = d.config().base() + offset;
+            d.fill(addr, (len as u64).max(8), 0x5C, OwnerTag::new(2)).unwrap();
+            let mut serial = vec![0u8; len];
+            let mut parallel = vec![0u8; len];
+            d.read_bytes(addr, &mut serial).unwrap();
+            d.scrape_banks_parallel(addr, &mut parallel, workers).unwrap();
+            prop_assert_eq!(serial, parallel);
         }
     }
 }

@@ -39,6 +39,23 @@ pub enum DramError {
         /// Address of the offending request.
         addr: PhysAddr,
     },
+    /// An address handed to the DDR mapping lies outside the DRAM window, so
+    /// it has no (rank, bank group, bank, row, column) decomposition.
+    ///
+    /// This is the typed form of what [`DdrMapping`](crate::DdrMapping) used
+    /// to signal with a bare `None`: every mapping entry point (decompose,
+    /// row/bank spans, bank-boundary splitting) now rejects out-of-window
+    /// addresses with this same error.
+    OutsideWindow {
+        /// The address that has no DDR coordinates.
+        addr: PhysAddr,
+    },
+    /// A bank-parallel operation was requested with a zero-sized worker pool.
+    ///
+    /// Like [`DramError::EmptyRange`], this is always a caller bug (usually a
+    /// miscomputed `--jobs` value), so the device rejects it instead of
+    /// silently degrading to a no-op.
+    ZeroWorkers,
 }
 
 impl fmt::Display for DramError {
@@ -61,6 +78,15 @@ impl fmt::Display for DramError {
             }
             DramError::EmptyRange { addr } => {
                 write!(f, "zero-length range at {addr} (end precedes start?)")
+            }
+            DramError::OutsideWindow { addr } => {
+                write!(
+                    f,
+                    "address {addr} is outside the DRAM window and has no DDR coordinates"
+                )
+            }
+            DramError::ZeroWorkers => {
+                write!(f, "bank-parallel operation requested with zero workers")
             }
         }
     }
@@ -93,6 +119,11 @@ mod tests {
             addr: PhysAddr::new(0x6_0000_0000),
         };
         assert!(e.to_string().contains("zero-length"));
+        let e = DramError::OutsideWindow {
+            addr: PhysAddr::new(0x10),
+        };
+        assert!(e.to_string().contains("no DDR coordinates"));
+        assert!(DramError::ZeroWorkers.to_string().contains("zero workers"));
     }
 
     #[test]

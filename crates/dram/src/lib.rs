@@ -5,7 +5,12 @@
 //! scraping attack (MSA) described in *"Memory Scraping Attack on Xilinx
 //! FPGAs: Private Data Extraction from Terminated Processes"* (DATE 2024):
 //!
-//! - a byte-accurate, sparsely backed physical memory ([`Dram`]),
+//! - a byte-accurate, sparsely backed physical memory ([`Dram`]) whose
+//!   backing store is **sharded by DRAM bank**: requests are split at bank
+//!   boundaries and routed to per-bank shards, and the bank-parallel
+//!   [`Dram::scrub_banks_parallel`] / [`Dram::scrape_banks_parallel`] paths
+//!   fan work across those shards while staying byte-identical to the
+//!   sequential operations,
 //! - the DDR address interleaving used by the memory controller
 //!   ([`mapping::DdrMapping`]), so row/bank-granular sanitization schemes
 //!   (RowClone, RowReset) can be modelled faithfully,
@@ -46,6 +51,6 @@ pub use addr::{FrameNumber, PhysAddr, PAGE_SIZE};
 pub use config::DramConfig;
 pub use device::{Dram, OwnerTag};
 pub use error::DramError;
-pub use mapping::{DdrCoordinates, DdrMapping};
+pub use mapping::{BankChunk, DdrCoordinates, DdrMapping};
 pub use sanitize::{SanitizeCost, SanitizePolicy, ScrubReport};
 pub use stats::DramStats;

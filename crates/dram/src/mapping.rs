@@ -11,11 +11,25 @@
 //! ```text
 //! address bits (low → high): column | bank group | bank | row | rank
 //! ```
+//!
+//! Because the column bits are the *low* bits, every naturally aligned
+//! `row_bytes`-sized block of the window (a **bank stripe**) lives entirely
+//! inside one bank, and consecutive stripes rotate through the bank groups.
+//! [`DdrMapping::split_at_bank_boundaries`] decomposes an arbitrary byte
+//! range into those single-bank chunks — the partition the sharded
+//! [`Dram`](crate::Dram) store and its bank-parallel scrub/scrape paths are
+//! built on.
+//!
+//! Every entry point rejects out-of-window addresses with the typed
+//! [`DramError::OutsideWindow`] error (decompose and the bulk span/splitting
+//! paths used to disagree: decompose returned `None` while `bank_addresses`
+//! happily produced spans past the window end that callers had to filter).
 
 use serde::{Deserialize, Serialize};
 
 use crate::addr::PhysAddr;
 use crate::config::{DdrGeometry, DramConfig};
+use crate::error::DramError;
 
 /// Decomposed DRAM coordinates of a physical address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,6 +62,23 @@ impl DdrCoordinates {
     }
 }
 
+/// One single-bank chunk of a byte range split at bank-stripe boundaries.
+///
+/// Produced by [`DdrMapping::split_at_bank_boundaries`]; every byte of
+/// `[addr, addr + len)` belongs to the bank identified by `bank`
+/// (a [`DdrCoordinates::bank_id`] value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankChunk {
+    /// Flat bank identifier (rank, bank group, bank).
+    pub bank: u64,
+    /// Global stripe index of the chunk (window offset / stripe bytes).
+    pub stripe: u64,
+    /// First address of the chunk.
+    pub addr: PhysAddr,
+    /// Chunk length in bytes (never crosses a stripe boundary).
+    pub len: u64,
+}
+
 /// Translator between window-relative physical addresses and DDR coordinates.
 ///
 /// # Example
@@ -77,12 +108,97 @@ impl DdrMapping {
         &self.config
     }
 
+    /// Number of distinct banks addressed by the geometry
+    /// (ranks × bank groups × banks per group).
+    pub fn bank_count(&self) -> u64 {
+        self.config.geometry().bank_count()
+    }
+
+    /// Bytes per bank stripe: the longest naturally aligned block that is
+    /// guaranteed to live inside a single bank (one DRAM row).
+    pub fn stripe_bytes(&self) -> u64 {
+        self.config.geometry().row_bytes()
+    }
+
+    /// The bank holding a given global stripe (window offset / stripe bytes).
+    ///
+    /// Delegates to [`DdrGeometry::bank_of_stripe`] — a total function, so
+    /// the store can route every stripe to exactly one bank shard without an
+    /// in-window check on the hot path.  For in-window addresses it agrees
+    /// with [`DdrCoordinates::bank_id`] of any address in the stripe.
+    pub fn bank_of_stripe(&self, stripe: u64) -> u64 {
+        self.config.geometry().bank_of_stripe(stripe)
+    }
+
+    /// The bank containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if `addr` is outside the window.
+    pub fn bank_of(&self, addr: PhysAddr) -> Result<u64, DramError> {
+        if !self.config.contains(addr) {
+            return Err(DramError::OutsideWindow { addr });
+        }
+        Ok(self.bank_of_stripe(addr.offset_from(self.config.base()) / self.stripe_bytes()))
+    }
+
+    /// Splits the byte range `[addr, addr + len)` into single-bank chunks at
+    /// bank-stripe boundaries, in address order.
+    ///
+    /// The chunks form a partition: concatenating them reproduces the range
+    /// exactly, and each chunk lies wholly inside the bank it names.  This is
+    /// the decomposition the sharded store routes requests through and the
+    /// parallel scrub/scrape paths fan out over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if any byte of the range falls
+    /// outside the window (the same rejection rule as
+    /// [`DdrMapping::decompose`]), and [`DramError::EmptyRange`] for a
+    /// zero-length range.
+    pub fn split_at_bank_boundaries(
+        &self,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<Vec<BankChunk>, DramError> {
+        if len == 0 {
+            return Err(DramError::EmptyRange { addr });
+        }
+        let last = addr
+            .checked_add(len - 1)
+            .ok_or(DramError::OutsideWindow { addr })?;
+        if !self.config.contains(addr) || !self.config.contains(last) {
+            return Err(DramError::OutsideWindow { addr });
+        }
+        let sb = self.stripe_bytes();
+        let base = self.config.base();
+        let mut chunks = Vec::with_capacity((len / sb + 2) as usize);
+        let mut cursor = 0u64;
+        while cursor < len {
+            let rel = (addr + cursor).offset_from(base);
+            let stripe = rel / sb;
+            let offset = rel % sb;
+            let chunk = (sb - offset).min(len - cursor);
+            chunks.push(BankChunk {
+                bank: self.bank_of_stripe(stripe),
+                stripe,
+                addr: addr + cursor,
+                len: chunk,
+            });
+            cursor += chunk;
+        }
+        Ok(chunks)
+    }
+
     /// Decomposes a physical address into DDR coordinates.
     ///
-    /// Returns `None` if the address is outside the DRAM window.
-    pub fn decompose(&self, addr: PhysAddr) -> Option<DdrCoordinates> {
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if the address is outside the
+    /// DRAM window.
+    pub fn decompose(&self, addr: PhysAddr) -> Result<DdrCoordinates, DramError> {
         if !self.config.contains(addr) {
-            return None;
+            return Err(DramError::OutsideWindow { addr });
         }
         let g = self.config.geometry();
         let mut rel = addr.offset_from(self.config.base());
@@ -97,7 +213,7 @@ impl DdrMapping {
         rel >>= g.row_bits;
         let rank = rel & ((1 << g.rank_bits) - 1);
 
-        Some(DdrCoordinates {
+        Ok(DdrCoordinates {
             rank,
             bank_group,
             bank,
@@ -131,17 +247,23 @@ impl DdrMapping {
     }
 
     /// Returns the inclusive start and exclusive end of the DRAM row
-    /// containing `addr`, or `None` if `addr` is outside the window.
+    /// containing `addr`, clipped to the window end (tiny test windows can be
+    /// smaller than one full row).
     ///
     /// This is the span a RowClone-style bulk zero would clear.
-    pub fn row_span(&self, addr: PhysAddr) -> Option<(PhysAddr, PhysAddr)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if `addr` is outside the window.
+    pub fn row_span(&self, addr: PhysAddr) -> Result<(PhysAddr, PhysAddr), DramError> {
         let g = self.config.geometry();
         let coords = self.decompose(addr)?;
         let start = self.compose(DdrCoordinates {
             column: 0,
             ..coords
         });
-        Some((start, start + g.row_bytes()))
+        let end = (start + g.row_bytes()).min(self.config.end());
+        Ok((start, end))
     }
 
     /// Returns the inclusive start and exclusive end of the contiguous span
@@ -152,34 +274,52 @@ impl DdrMapping {
     /// the span of the *row-group stripe* the address falls into (one row's
     /// worth of bytes).  Use [`DdrMapping::bank_addresses`] to enumerate a
     /// whole bank.
-    pub fn bank_stripe_span(&self, addr: PhysAddr) -> Option<(PhysAddr, PhysAddr)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if `addr` is outside the window.
+    pub fn bank_stripe_span(&self, addr: PhysAddr) -> Result<(PhysAddr, PhysAddr), DramError> {
         self.row_span(addr)
     }
 
-    /// Iterates over the base address of every row belonging to the bank that
-    /// contains `addr`.
+    /// Iterates over the span of every row belonging to the bank that
+    /// contains `addr`, **restricted to the configured window**: rows that a
+    /// small window does not reach are omitted, and the final row is clipped
+    /// to the window end, so callers can scrub every returned span without
+    /// re-checking bounds.
     ///
     /// This is the set of spans a RowReset-style bank initialization clears.
-    pub fn bank_addresses(&self, addr: PhysAddr) -> Option<Vec<(PhysAddr, PhysAddr)>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutsideWindow`] if `addr` is outside the window
+    /// (the same rejection [`DdrMapping::decompose`] applies — the two paths
+    /// used to disagree, with the bulk path emitting out-of-window spans).
+    pub fn bank_addresses(&self, addr: PhysAddr) -> Result<Vec<(PhysAddr, PhysAddr)>, DramError> {
         let g = self.config.geometry();
         let coords = self.decompose(addr)?;
         let rows = 1u64 << g.row_bits;
-        let mut spans = Vec::with_capacity(rows as usize);
+        let end = self.config.end();
+        let mut spans = Vec::new();
         for row in 0..rows {
             let start = self.compose(DdrCoordinates {
                 column: 0,
                 row,
                 ..coords
             });
-            spans.push((start, start + g.row_bytes()));
+            if start >= end {
+                continue;
+            }
+            spans.push((start, (start + g.row_bytes()).min(end)));
         }
-        Some(spans)
+        Ok(spans)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::addr::PAGE_SIZE;
     use proptest::prelude::*;
 
     fn mapping() -> DdrMapping {
@@ -203,10 +343,81 @@ mod tests {
     }
 
     #[test]
-    fn decompose_outside_window_is_none() {
+    fn decompose_outside_window_is_a_typed_error() {
         let m = mapping();
-        assert!(m.decompose(PhysAddr::new(0)).is_none());
-        assert!(m.decompose(m.config().end()).is_none());
+        assert!(matches!(
+            m.decompose(PhysAddr::new(0)),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        assert!(matches!(
+            m.decompose(m.config().end()),
+            Err(DramError::OutsideWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn every_entry_point_rejects_the_window_end_identically() {
+        // The satellite fix: decompose and the bulk paths must agree on the
+        // window edge.  The last in-window byte succeeds everywhere; the
+        // one-past-the-end address fails everywhere with the same error.
+        let m = mapping();
+        let last = m.config().end() - 1;
+        assert!(m.decompose(last).is_ok());
+        assert!(m.row_span(last).is_ok());
+        assert!(m.bank_stripe_span(last).is_ok());
+        assert!(m.bank_addresses(last).is_ok());
+        assert!(m.bank_of(last).is_ok());
+        assert!(m.split_at_bank_boundaries(last, 1).is_ok());
+
+        let past = m.config().end();
+        assert!(matches!(
+            m.decompose(past),
+            Err(DramError::OutsideWindow { addr }) if addr == past
+        ));
+        assert!(matches!(
+            m.row_span(past),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        assert!(matches!(
+            m.bank_stripe_span(past),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        assert!(matches!(
+            m.bank_addresses(past),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        assert!(matches!(
+            m.bank_of(past),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        // A range whose tail leaves the window is rejected as a whole.
+        assert!(matches!(
+            m.split_at_bank_boundaries(last, 2),
+            Err(DramError::OutsideWindow { .. })
+        ));
+        // A range whose length overflows the address space is rejected too.
+        assert!(m.split_at_bank_boundaries(last, u64::MAX).is_err());
+        assert!(matches!(
+            m.split_at_bank_boundaries(last, 0),
+            Err(DramError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn row_and_bank_spans_are_clipped_to_the_window() {
+        // A window smaller than one bank: every span the mapping hands out
+        // must already be scrubable without a bounds re-check.
+        let cfg = DramConfig::tiny_for_tests();
+        let m = DdrMapping::new(cfg);
+        let spans = m.bank_addresses(cfg.base()).unwrap();
+        assert!(!spans.is_empty());
+        for (start, end) in &spans {
+            assert!(*start < *end, "spans are non-empty");
+            assert!(cfg.contains(*start));
+            assert!(cfg.contains(*end - 1));
+        }
+        let (rs, re) = m.row_span(cfg.end() - 1).unwrap();
+        assert!(cfg.contains(rs) && re <= cfg.end());
     }
 
     #[test]
@@ -272,6 +483,17 @@ mod tests {
     }
 
     #[test]
+    fn bank_count_and_stripe_bytes_follow_the_geometry() {
+        let m = mapping();
+        let g = m.config().geometry();
+        assert_eq!(
+            m.bank_count(),
+            1 << (g.bank_bits + g.bank_group_bits + g.rank_bits)
+        );
+        assert_eq!(m.stripe_bytes(), g.row_bytes());
+    }
+
+    #[test]
     #[should_panic(expected = "column out of range")]
     fn compose_rejects_out_of_range_column() {
         let m = mapping();
@@ -297,6 +519,18 @@ mod tests {
                     bank_group_bits: 2,
                     row_bits: 13,
                     rank_bits: 1,
+                },
+            ),
+            // Stripes as large as a page, single rank, few banks.
+            DramConfig::custom(
+                PhysAddr::new(0x6_0000_0000),
+                8 * 1024 * 1024,
+                DdrGeometry {
+                    column_bits: 12,
+                    bank_bits: 1,
+                    bank_group_bits: 1,
+                    row_bits: 9,
+                    rank_bits: 0,
                 },
             ),
         ]
@@ -327,6 +561,83 @@ mod tests {
             }
         }
 
+        /// Bank decomposition is a partition: every in-window address maps to
+        /// exactly one bank, and that bank agrees between the stripe-level
+        /// routing function and the full coordinate decomposition.
+        #[test]
+        fn prop_every_address_maps_to_exactly_one_bank(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let g = cfg.geometry();
+                let addr = cfg.base() + raw % cfg.capacity();
+                let via_coords = m.decompose(addr).unwrap().bank_id(&g);
+                let via_stripe =
+                    m.bank_of_stripe(addr.offset_from(cfg.base()) / m.stripe_bytes());
+                prop_assert_eq!(via_coords, via_stripe, "config {:?}", cfg.board());
+                prop_assert_eq!(m.bank_of(addr).unwrap(), via_coords);
+                prop_assert!(via_coords < m.bank_count());
+            }
+        }
+
+        /// Splitting a range at bank boundaries re-concatenates losslessly:
+        /// chunks are contiguous, cover the range exactly, stay inside one
+        /// bank each, and every byte lands in exactly one chunk — including
+        /// ranges that straddle bank-group and rank boundaries.
+        #[test]
+        fn prop_bank_split_is_a_lossless_partition(raw in any::<u64>(), span in 1u64..(64 * 1024)) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let g = cfg.geometry();
+                let len = span.min(cfg.capacity());
+                let addr = cfg.base() + raw % (cfg.capacity() - len + 1);
+                let chunks = m.split_at_bank_boundaries(addr, len).unwrap();
+
+                // Contiguous, exact cover.
+                let mut cursor = addr;
+                let mut total = 0u64;
+                for chunk in &chunks {
+                    prop_assert_eq!(chunk.addr, cursor, "config {:?}", cfg.board());
+                    prop_assert!(chunk.len > 0);
+                    prop_assert!(chunk.len <= m.stripe_bytes());
+                    // The whole chunk shares one bank id, and it is the bank
+                    // the coordinate decomposition assigns.
+                    let first = m.decompose(chunk.addr).unwrap().bank_id(&g);
+                    let last = m.decompose(chunk.addr + chunk.len - 1).unwrap().bank_id(&g);
+                    prop_assert_eq!(first, chunk.bank);
+                    prop_assert_eq!(last, chunk.bank);
+                    cursor += chunk.len;
+                    total += chunk.len;
+                }
+                prop_assert_eq!(total, len);
+                prop_assert_eq!(cursor, addr + len);
+            }
+        }
+
+        /// A range deliberately straddling the highest interleaving boundary
+        /// (rank, when present, else the top row) still partitions cleanly
+        /// and lands in more than one bank when stripes alternate.
+        #[test]
+        fn prop_split_straddles_bank_group_and_rank_boundaries(span in 2u64..8192) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let sb = m.stripe_bytes();
+                // Centre the range on a stripe boundary so it always crosses
+                // at least one bank-group rotation.
+                let len = span.min(cfg.capacity() / 2);
+                let boundary = cfg.base() + (cfg.capacity() / 2);
+                let addr = boundary - (len / 2).min(boundary.offset_from(cfg.base()));
+                let chunks = m.split_at_bank_boundaries(addr, len).unwrap();
+                let total: u64 = chunks.iter().map(|c| c.len).sum();
+                prop_assert_eq!(total, len);
+                if len > sb {
+                    // More than one stripe: the bank rotation must show up.
+                    let mut banks: Vec<u64> = chunks.iter().map(|c| c.bank).collect();
+                    banks.dedup();
+                    prop_assert!(banks.len() > 1, "config {:?}", cfg.board());
+                }
+            }
+        }
+
         #[test]
         fn prop_same_row_shares_row_id(offset in 0u64..(2u64*1024*1024*1024 - 1024), delta in 0u64..1024) {
             let m = mapping();
@@ -345,7 +656,7 @@ mod tests {
                 let addr = cfg.base() + raw % cfg.capacity();
                 let (start, end) = m.row_span(addr).unwrap();
                 prop_assert!(start <= addr && addr < end);
-                prop_assert_eq!(end.offset_from(start), cfg.geometry().row_bytes());
+                prop_assert!(end.offset_from(start) <= cfg.geometry().row_bytes());
                 // Every byte of the span shares the address's row identity.
                 let g = cfg.geometry();
                 let row = m.decompose(addr).unwrap().row_id(&g);
@@ -359,10 +670,25 @@ mod tests {
             for cfg in all_board_configs() {
                 let m = DdrMapping::new(cfg);
                 let below = PhysAddr::new(raw % cfg.base().as_u64());
-                prop_assert!(m.decompose(below).is_none());
+                prop_assert!(m.decompose(below).is_err());
                 if let Some(above) = cfg.end().checked_add(raw % (1u64 << 32)) {
-                    prop_assert!(m.decompose(above).is_none());
+                    prop_assert!(m.decompose(above).is_err());
                 }
+            }
+        }
+
+        /// Stripes never cross page boundaries mid-frame in a way that could
+        /// split a frame across more banks than stripes: each PAGE_SIZE frame
+        /// decomposes into contiguous single-bank chunks of stripe size.
+        #[test]
+        fn prop_frame_splits_into_stripe_sized_bank_chunks(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let frames = cfg.capacity() / PAGE_SIZE;
+                let frame_base = cfg.base() + (raw % frames) * PAGE_SIZE;
+                let chunks = m.split_at_bank_boundaries(frame_base, PAGE_SIZE).unwrap();
+                let expected = (PAGE_SIZE / m.stripe_bytes()).max(1);
+                prop_assert_eq!(chunks.len() as u64, expected);
             }
         }
     }

@@ -119,6 +119,9 @@ impl SanitizePolicy {
     /// records what was cleared immediately, what was deferred, the modelled
     /// cycle cost, and any collateral damage to other live owners' frames.
     ///
+    /// Equivalent to [`SanitizePolicy::apply_with_workers`] with one worker
+    /// (fully sequential scrubbing).
+    ///
     /// # Panics
     ///
     /// Panics if a freed frame lies outside the DRAM window (the kernel only
@@ -130,6 +133,33 @@ impl SanitizePolicy {
         freed: &[FrameNumber],
         cost: &SanitizeCost,
     ) -> ScrubReport {
+        self.apply_with_workers(dram, terminated, freed, cost, 1)
+    }
+
+    /// Applies the policy like [`SanitizePolicy::apply`], fanning the
+    /// bank-addressed scrub spans (RowClone rows, RowReset banks) across
+    /// `workers` bank-shard workers via [`Dram::scrub_banks_parallel`].
+    ///
+    /// The report and the resulting DRAM state are **identical** to the
+    /// sequential application — the cost model charges the same cycles, the
+    /// same bytes are cleared and the same collateral is recorded; only wall
+    /// clock changes.  Frame-exact policies (zero-on-free, selective scrub)
+    /// always scrub their 4 KiB frames sequentially: at that granularity a
+    /// bank fan-out has nothing to win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a freed frame lies outside the DRAM window, or if `workers`
+    /// is zero.
+    pub fn apply_with_workers(
+        &self,
+        dram: &mut Dram,
+        terminated: OwnerTag,
+        freed: &[FrameNumber],
+        cost: &SanitizeCost,
+        workers: usize,
+    ) -> ScrubReport {
+        assert!(workers > 0, "sanitizer worker pool must be non-empty");
         let mut report = ScrubReport::new(*self, terminated, freed.len());
         if freed.is_empty() {
             return report;
@@ -158,36 +188,33 @@ impl SanitizePolicy {
                 let row_bytes = dram.config().geometry().row_bytes();
                 let mut addr = row_start;
                 while addr < span_end {
-                    scrub_span(dram, addr, row_bytes, terminated, &mut report);
+                    // Whole rows (the RowClone granule), with the final row
+                    // clipped to the window like the mapping's spans are.
+                    let len = row_bytes.min(dram.config().end().offset_from(addr));
+                    scrub_span(dram, addr, len, terminated, workers, &mut report);
                     report.cost_cycles += cost.rowclone_per_row;
                     addr += row_bytes;
                 }
             }
             SanitizePolicy::RowReset => {
                 dram.retire_owner(terminated);
-                let geometry = dram.config().geometry();
                 let mut banks_done = std::collections::HashSet::new();
                 for frame in freed {
                     let base = frame.base_address();
-                    let coords = mapping
-                        .decompose(base)
+                    let bank = mapping
+                        .bank_of(base)
                         .expect("freed frame outside DRAM window");
-                    let bank = coords.bank_id(&geometry);
                     if !banks_done.insert(bank) {
                         continue;
                     }
+                    // The mapping clips every span to the window, so the
+                    // whole bank enumeration is directly scrubable.
                     for (start, end) in mapping
                         .bank_addresses(base)
                         .expect("freed frame outside DRAM window")
                     {
-                        // Banks can extend past the configured window when the
-                        // window is smaller than one full bank (tiny test
-                        // configurations); only the in-window part exists.
                         let len = end.offset_from(start);
-                        if !dram.config().contains_range(start, len) {
-                            continue;
-                        }
-                        scrub_span(dram, start, len, terminated, &mut report);
+                        scrub_span(dram, start, len, terminated, workers, &mut report);
                     }
                     report.cost_cycles += cost.rowreset_per_bank;
                     report.banks_reset += 1;
@@ -302,6 +329,7 @@ fn scrub_span(
     start: PhysAddr,
     len: u64,
     terminated: OwnerTag,
+    workers: usize,
     report: &mut ScrubReport,
 ) {
     // Account collateral before clearing: any frame in the span owned by a
@@ -317,8 +345,12 @@ fn scrub_span(
         }
         addr += PAGE_SIZE;
     }
-    dram.scrub_range(start, len)
-        .expect("scrub span outside DRAM window");
+    if workers > 1 {
+        dram.scrub_banks_parallel(start, len, workers)
+    } else {
+        dram.scrub_range(start, len)
+    }
+    .expect("scrub span outside DRAM window");
     report.bytes_scrubbed += len;
 }
 
@@ -473,6 +505,60 @@ mod tests {
         let done = scrub_deferred(&mut dram, &report.deferred_frames, &SanitizeCost::default());
         assert_eq!(done.bytes_scrubbed, 3 * PAGE_SIZE);
         assert_eq!(dram.read_u8(frames[0].base_address()).unwrap(), 0);
+    }
+
+    #[test]
+    fn bank_parallel_application_is_identical_to_sequential() {
+        // The bank-addressed policies (RowClone / RowReset) must produce the
+        // same report and the same DRAM state whether their spans run on one
+        // worker or fan out over the bank shards.
+        for policy in [SanitizePolicy::RowClone, SanitizePolicy::RowReset] {
+            let (mut serial_dram, victim, frames) = setup();
+            let (mut parallel_dram, victim_p, frames_p) = setup();
+            let other = OwnerTag::new(2000);
+            for dram in [&mut serial_dram, &mut parallel_dram] {
+                let neighbour = dram.config().base() + PAGE_SIZE;
+                dram.fill(neighbour, PAGE_SIZE, 0xAB, other).unwrap();
+            }
+
+            let serial = policy.apply(&mut serial_dram, victim, &frames, &SanitizeCost::default());
+            let parallel = policy.apply_with_workers(
+                &mut parallel_dram,
+                victim_p,
+                &frames_p,
+                &SanitizeCost::default(),
+                4,
+            );
+            assert_eq!(serial, parallel, "{policy} report");
+            let mut a = vec![0u8; 10 * PAGE_SIZE as usize];
+            let mut b = vec![0u8; 10 * PAGE_SIZE as usize];
+            serial_dram
+                .read_bytes(serial_dram.config().base(), &mut a)
+                .unwrap();
+            parallel_dram
+                .read_bytes(parallel_dram.config().base(), &mut b)
+                .unwrap();
+            assert_eq!(a, b, "{policy} contents");
+            assert_eq!(
+                serial_dram.stats().deterministic_view(),
+                parallel_dram.stats().deterministic_view(),
+                "{policy} stats"
+            );
+            assert_eq!(serial_dram.residue_bytes(), parallel_dram.residue_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker pool must be non-empty")]
+    fn zero_worker_application_is_rejected() {
+        let (mut dram, victim, frames) = setup();
+        let _ = SanitizePolicy::RowClone.apply_with_workers(
+            &mut dram,
+            victim,
+            &frames,
+            &SanitizeCost::default(),
+            0,
+        );
     }
 
     #[test]

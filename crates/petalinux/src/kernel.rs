@@ -408,6 +408,24 @@ impl Kernel {
         Ok(self.dram.read_bytes(addr, buf)?)
     }
 
+    /// Reads raw bytes from physical memory with the read fanned across
+    /// `workers` bank-shard workers ([`zynq_dram::Dram::scrape_banks_parallel`]).
+    ///
+    /// The bytes returned are identical to [`Kernel::read_physical_bytes`];
+    /// only the wall clock differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range errors, and rejects a zero-sized worker pool.
+    pub fn read_physical_bytes_parallel(
+        &self,
+        addr: PhysAddr,
+        buf: &mut [u8],
+        workers: usize,
+    ) -> Result<(), KernelError> {
+        Ok(self.dram.scrape_banks_parallel(addr, buf, workers)?)
+    }
+
     /// Formats a kernel tick as the `HH:MM` wall-clock string `ps -ef` prints
     /// in its `STIME` column (boot is pinned at 03:51, matching the paper's
     /// figures).
