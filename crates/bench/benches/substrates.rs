@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use vitis_ai_sim::runner::heap_image;
 use vitis_ai_sim::{Image, ModelKind, XModel};
-use zynq_dram::{DdrMapping, Dram, DramConfig, FrameNumber, OwnerTag, PAGE_SIZE};
+use zynq_dram::{DdrMapping, Dram, DramConfig, FrameNumber, OwnerTag, RemanenceModel, PAGE_SIZE};
 use zynq_mmu::{
     pagemap, AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, PageTable,
     PagemapEntry, VirtAddr,
@@ -84,6 +84,32 @@ fn bench_dram(c: &mut Criterion) {
                 .unwrap()
         })
     });
+
+    // The decayed twins of the 8 MiB scrape: the same read through an active
+    // remanence decay view over terminated residue — the worst case for the
+    // lazy per-cell decay math.  Compare against `scrape_read_8mib` to see
+    // what a non-perfect model costs, and against each other to see what the
+    // bank fan-out buys back.
+    {
+        let mut decayed = Dram::new(cfg);
+        decayed.set_remanence(RemanenceModel::Exponential { half_life_ticks: 8 });
+        decayed.set_remanence_seed(0x5EED);
+        decayed.fill(base, SCRAPE_LEN, 0xC3, owner).unwrap();
+        decayed.retire_owner(owner);
+        decayed.advance_remanence(4);
+        group.bench_function("scrape_read_8mib_decayed", |b| {
+            let mut buf = vec![0u8; SCRAPE_LEN as usize];
+            b.iter(|| decayed.read_bytes(black_box(base), &mut buf).unwrap())
+        });
+        group.bench_function("scrape_read_8mib_decayed_banked_x4", |b| {
+            let mut buf = vec![0u8; SCRAPE_LEN as usize];
+            b.iter(|| {
+                decayed
+                    .scrape_banks_parallel(black_box(base), &mut buf, 4)
+                    .unwrap()
+            })
+        });
+    }
 
     group.bench_function("ddr_decompose_compose", |b| {
         let mapping = DdrMapping::new(cfg);

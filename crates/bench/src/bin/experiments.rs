@@ -12,8 +12,9 @@
 //! `--multitenant` (TAB-F), `--revival` (Resurrection-style pid/frame reuse
 //! per sanitize policy, two boards), `--livetraffic` (residue decay vs. live
 //! churn depth), `--banks` (flat vs. bank-sharded scrub/scrape throughput
-//! plus the bank-striped attacker sweep), `--campaign` (fleet-scale matrix
-//! summary), `--all`.
+//! plus the bank-striped attacker sweep), `--remanence` (recovery vs.
+//! Pentimento-style analog residue decay, per scrape mode), `--campaign`
+//! (fleet-scale matrix summary), `--all`.
 //!
 //! Modifiers: `--tiny` runs the matrix tables on the small test board (the
 //! CI smoke configuration); `--jobs=N` caps the campaign worker pool.
@@ -26,8 +27,8 @@ use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::campaign::{CampaignSpec, InputKind};
 use msa_core::defense::{
-    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant, evaluate_revival,
-    evaluate_sanitize_policies,
+    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant, evaluate_remanence,
+    evaluate_revival, evaluate_sanitize_policies,
 };
 use msa_core::profile::Profiler;
 use msa_core::report::{bytes, percent, TextTable};
@@ -56,6 +57,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--revival",
     "--livetraffic",
     "--banks",
+    "--remanence",
     "--campaign",
     "--tiny",
 ];
@@ -171,6 +173,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if options.want("--banks") {
         banks(&options)?;
+    }
+    if options.want("--remanence") {
+        remanence(&options)?;
     }
     if options.want("--campaign") {
         campaign(&options)?;
@@ -734,6 +739,54 @@ fn banks(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{sweep}");
+    Ok(())
+}
+
+/// The `--remanence` artifact: recovery vs. Pentimento-style analog residue
+/// decay.
+///
+/// Each row pair runs the same remanence model through the paper's
+/// single-sweep attacker and the bank-striped parallel attacker at the same
+/// cell seed; the decay view is a pure per-cell function living inside the
+/// bank shards, so the pairs must agree on every science column — the
+/// verdict line below the table asserts exactly that.  Decay advances on
+/// logical ticks (scenario steps, churned scrape chunks), never wall clock,
+/// so this whole table is deterministic and `--jobs`-independent.
+fn remanence(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    /// Fan-out of the bank-striped attacker rows (matches `--banks`).
+    const BANK_WORKERS: usize = 4;
+
+    println!("=== REMANENCE: recovery vs. analog residue decay (victim: resnet50_pt) ===");
+    let rows = evaluate_remanence(options.board(), ModelKind::Resnet50Pt, BANK_WORKERS)?;
+    let mut table = TextTable::new(vec![
+        "remanence",
+        "scrape mode",
+        "model identified",
+        "pixel recovery",
+        "decayed recovery",
+        "bits flipped",
+        "raw residue",
+    ]);
+    for row in &rows {
+        table.add_row(vec![
+            row.remanence.to_string(),
+            row.scrape_mode.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+            percent(row.decayed_recovery),
+            row.residue_bits_flipped.to_string(),
+            bytes(row.residue_bytes_raw),
+        ]);
+    }
+    println!("{table}");
+    let identical = rows.chunks(2).all(|pair| {
+        pair[0].model_identified == pair[1].model_identified
+            && pair[0].pixel_recovery == pair[1].pixel_recovery
+            && pair[0].decayed_recovery == pair[1].decayed_recovery
+            && pair[0].residue_bits_flipped == pair[1].residue_bits_flipped
+            && pair[0].residue_bytes_raw == pair[1].residue_bytes_raw
+    });
+    println!("bank-striped decayed scrape identical to sequential: {identical}\n");
     Ok(())
 }
 

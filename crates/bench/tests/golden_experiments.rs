@@ -114,6 +114,21 @@ fn tiny_timing_defenses_stdout_is_pinned() {
 }
 
 #[test]
+fn tiny_remanence_stdout_is_pinned_and_jobs_independent() {
+    // The remanence decay table is fully deterministic — decay advances on
+    // logical ticks, never wall clock, and the decay view is a pure per-cell
+    // function — so the *same* golden pins the serial and the 4-worker run.
+    // Any divergence between them is a determinism regression, not a
+    // formatting drift.
+    for jobs in ["--jobs=1", "--jobs=4"] {
+        assert_matches_golden(
+            &["--remanence", "--tiny", jobs],
+            "experiments_tiny_remanence.txt",
+        );
+    }
+}
+
+#[test]
 fn tiny_banks_stdout_is_pinned() {
     // The `--banks` table's deterministic content — bank counts, stripe and
     // region sizes, byte-identity verdicts and the bank-striped attacker

@@ -36,9 +36,13 @@ pub enum ScrapeMode {
     /// ([`zynq_dram::Dram::scrape_banks_parallel`]).
     ///
     /// Recovers exactly the bytes [`ScrapeMode::ContiguousRange`] recovers —
-    /// campaign results are pinned byte-identical across worker counts — but
-    /// shrinks the scrape wall clock, and with it the window in which
-    /// residue can decay under live traffic.
+    /// campaign results are pinned byte-identical across worker counts, and
+    /// that identity extends to analog-decayed residue: the remanence view
+    /// ([`zynq_dram::RemanenceModel`]) is a pure per-cell function, so the
+    /// per-shard parallel read of decayed residue matches the sequential
+    /// sweep bit for bit.  The fan-out shrinks the scrape wall clock, and
+    /// with it the window in which residue can churn away under live
+    /// traffic.
     BankStriped {
         /// Concurrent bank readers (must be non-zero; 1 degenerates to the
         /// plain contiguous read).

@@ -14,7 +14,7 @@
 use petalinux_sim::{BoardConfig, IsolationPolicy};
 use serde::{Deserialize, Serialize};
 use vitis_ai_sim::ModelKind;
-use zynq_dram::SanitizePolicy;
+use zynq_dram::{RemanenceModel, SanitizePolicy};
 use zynq_mmu::{AllocationOrder, AslrMode};
 
 use crate::attack::ScrapeMode;
@@ -256,6 +256,103 @@ pub fn evaluate_bank_striping(
             })
         })
         .collect()
+}
+
+/// One row of the remanence sweep: what the attack still recovers when the
+/// residue decays analog-style (Pentimento) between termination and the
+/// scrape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemanenceRow {
+    /// The remanence decay model under test.
+    pub remanence: RemanenceModel,
+    /// The scraping strategy the attacker used.
+    pub scrape_mode: ScrapeMode,
+    /// Whether the model was identified.
+    pub model_identified: bool,
+    /// Fraction of input pixels recovered.
+    pub pixel_recovery: f64,
+    /// Non-zero residue bytes in the raw store when the attack ended.
+    pub residue_bytes_raw: u64,
+    /// Of those, bytes the decay view had driven to zero.
+    pub residue_bytes_decayed: u64,
+    /// Bits the decay view flipped away.
+    pub residue_bits_flipped: u64,
+    /// Fraction of the raw residue still readable through the decay view.
+    pub decayed_recovery: f64,
+}
+
+/// The remanence models every remanence sweep covers: the perfect baseline,
+/// exponential byte decay at shortening half-lives, and a per-bit discharge
+/// model.
+pub fn swept_remanence_models() -> Vec<RemanenceModel> {
+    vec![
+        RemanenceModel::Perfect,
+        RemanenceModel::Exponential {
+            half_life_ticks: 16,
+        },
+        RemanenceModel::Exponential { half_life_ticks: 4 },
+        RemanenceModel::Exponential { half_life_ticks: 1 },
+        RemanenceModel::BitFlip { rate_ppm: 120_000 },
+    ]
+}
+
+/// Sweeps the remanence decay axis ([`swept_remanence_models`]) against both
+/// the paper's single-sweep attacker and its bank-striped variant at
+/// `workers` concurrent bank readers.
+///
+/// Two results come out of the table: how fast the attack's recovery falls
+/// off as retention shortens (the robustness question Pentimento raises),
+/// and that the bank-striped scrape of *decayed* residue is byte-identical
+/// to the sequential one — per-shard decay is a pure per-cell function, so
+/// fanning out never changes the science.  Each scrape mode runs as its own
+/// campaign with the same seed, so paired rows share their cell seed (and
+/// therefore their decay draws) and differ only in the read path.
+///
+/// Rows come back remanence-major: for each model, the contiguous row is
+/// immediately followed by its bank-striped twin.
+///
+/// # Errors
+///
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel.
+pub fn evaluate_remanence(
+    board: BoardConfig,
+    model: ModelKind,
+    workers: usize,
+) -> Result<Vec<RemanenceRow>, AttackError> {
+    let sweep = |mode: ScrapeMode| -> Result<Vec<RemanenceRow>, AttackError> {
+        let report = CampaignSpec::new("remanence-sweep", board)
+            .with_models(vec![model])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_remanence_models(swept_remanence_models())
+            .with_scrape_modes(vec![mode])
+            .run()?;
+        report
+            .cells()
+            .iter()
+            .map(|record| {
+                let metrics = completed_metrics(record)?;
+                let lifetime = metrics.residue_lifetime;
+                Ok(RemanenceRow {
+                    remanence: record.cell.remanence,
+                    scrape_mode: record.cell.scrape_mode,
+                    model_identified: metrics.model_identified,
+                    pixel_recovery: metrics.pixel_recovery,
+                    residue_bytes_raw: lifetime.residue_bytes_raw,
+                    residue_bytes_decayed: lifetime.residue_bytes_decayed,
+                    residue_bits_flipped: lifetime.residue_bits_flipped,
+                    decayed_recovery: lifetime.decayed_recovery_rate(),
+                })
+            })
+            .collect()
+    };
+    let contiguous = sweep(ScrapeMode::ContiguousRange)?;
+    let striped = sweep(ScrapeMode::BankStriped { workers })?;
+    Ok(contiguous
+        .into_iter()
+        .zip(striped)
+        .flat_map(|(a, b)| [a, b])
+        .collect())
 }
 
 /// One row of the revival (Resurrection-style) sweep: what a sanitization
@@ -545,6 +642,69 @@ mod tests {
         assert_eq!(rows[0].dump_coverage, rows[1].dump_coverage);
         assert!(rows[0].model_identified);
         assert!(rows[0].pixel_recovery > 0.99);
+    }
+
+    #[test]
+    fn remanence_sweep_decays_recovery_and_striping_changes_nothing() {
+        let rows = evaluate_remanence(board(), ModelKind::SqueezeNet, 4).unwrap();
+        assert_eq!(rows.len(), 2 * swept_remanence_models().len());
+
+        // Rows are remanence-major, with each contiguous row followed by its
+        // bank-striped twin — and the twins are identical on every science
+        // column (per-shard decay is a pure per-cell function).
+        for pair in rows.chunks(2) {
+            let (contiguous, striped) = (&pair[0], &pair[1]);
+            assert_eq!(contiguous.scrape_mode, ScrapeMode::ContiguousRange);
+            assert_eq!(striped.scrape_mode, ScrapeMode::BankStriped { workers: 4 });
+            assert_eq!(contiguous.remanence, striped.remanence);
+            assert_eq!(contiguous.model_identified, striped.model_identified);
+            assert_eq!(contiguous.pixel_recovery, striped.pixel_recovery);
+            assert_eq!(
+                contiguous.residue_bits_flipped,
+                striped.residue_bits_flipped
+            );
+            assert_eq!(contiguous.decayed_recovery, striped.decayed_recovery);
+        }
+
+        // The perfect baseline reproduces the pre-remanence attack exactly.
+        let perfect = &rows[0];
+        assert_eq!(perfect.remanence, RemanenceModel::Perfect);
+        assert!(perfect.model_identified);
+        assert!(perfect.pixel_recovery > 0.99);
+        assert_eq!(perfect.residue_bits_flipped, 0);
+        assert_eq!(perfect.decayed_recovery, 1.0);
+
+        // Shortening the half-life monotonically shrinks what survives: the
+        // same cells decay, more of them, never fewer.
+        let contiguous: Vec<&RemanenceRow> = rows
+            .iter()
+            .filter(|r| r.scrape_mode == ScrapeMode::ContiguousRange)
+            .collect();
+        let exp = |hl: u64| {
+            contiguous
+                .iter()
+                .find(|r| {
+                    r.remanence
+                        == RemanenceModel::Exponential {
+                            half_life_ticks: hl,
+                        }
+                })
+                .unwrap()
+        };
+        assert!(exp(16).decayed_recovery >= exp(4).decayed_recovery);
+        assert!(exp(4).decayed_recovery >= exp(1).decayed_recovery);
+        assert!(exp(1).decayed_recovery < 1.0);
+        assert!(exp(1).residue_bytes_decayed > 0);
+        assert!(exp(1).pixel_recovery < perfect.pixel_recovery);
+
+        // The bit-flip model degrades bits without necessarily zeroing whole
+        // bytes.
+        let bitflip = contiguous
+            .iter()
+            .find(|r| matches!(r.remanence, RemanenceModel::BitFlip { .. }))
+            .unwrap();
+        assert!(bitflip.residue_bits_flipped > 0);
+        assert!(bitflip.pixel_recovery < perfect.pixel_recovery);
     }
 
     #[test]

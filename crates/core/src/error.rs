@@ -42,6 +42,12 @@ pub enum AttackError {
         /// Description of the denied step.
         step: String,
     },
+    /// A campaign whose axes expand to zero cells was asked to run.
+    ///
+    /// Aggregating an empty report (rates, duration min/max) has no
+    /// well-defined answer, so the engine refuses up front instead of
+    /// returning a degenerate report.
+    EmptyCampaign,
 }
 
 impl fmt::Display for AttackError {
@@ -66,6 +72,9 @@ impl fmt::Display for AttackError {
             AttackError::Channel(e) => write!(f, "attack channel error: {e}"),
             AttackError::Blocked { step } => {
                 write!(f, "attack blocked by the isolation policy at: {step}")
+            }
+            AttackError::EmptyCampaign => {
+                write!(f, "campaign axes expand to zero cells; nothing to run")
             }
         }
     }
@@ -116,6 +125,9 @@ mod tests {
         }
         .to_string()
         .contains("blocked"));
+        assert!(AttackError::EmptyCampaign
+            .to_string()
+            .contains("zero cells"));
         assert!(channel.source().is_some());
         assert!(AttackError::VictimNotFound.source().is_none());
     }

@@ -168,6 +168,16 @@ pub struct ResidueLifetime {
     /// Tenant churn events executed while the scrape was in progress
     /// (zero outside [`VictimSchedule::LiveTraffic`]).
     pub churn_events: usize,
+    /// Non-zero bytes the victim's residue frames held in the raw store when
+    /// the attack ended (ground truth, before the remanence decay view).
+    pub residue_bytes_raw: u64,
+    /// Of those, bytes the remanence decay view had already driven to zero —
+    /// the analog part of the residue the attacker could no longer read
+    /// (zero under the perfect model).
+    pub residue_bytes_decayed: u64,
+    /// Total bits the remanence decay view flipped away across the victim's
+    /// residue (zero under the perfect model).
+    pub residue_bits_flipped: u64,
 }
 
 impl ResidueLifetime {
@@ -188,6 +198,18 @@ impl ResidueLifetime {
             0.0
         } else {
             1.0 - self.frames_lost_before_scrape as f64 / self.victim_frames as f64
+        }
+    }
+
+    /// Fraction of the victim's raw residue bytes that survived the
+    /// remanence decay view — the analog (Pentimento-style) analogue of
+    /// [`ResidueLifetime::survival_rate`].  1.0 when there was no residue at
+    /// all or the model is perfect.
+    pub fn decayed_recovery_rate(&self) -> f64 {
+        if self.residue_bytes_raw == 0 {
+            1.0
+        } else {
+            1.0 - self.residue_bytes_decayed as f64 / self.residue_bytes_raw as f64
         }
     }
 }
@@ -289,6 +311,7 @@ impl ScenarioOutcome {
             scrub_cost_cycles: self.scrub_report.as_ref().map_or(0.0, |r| r.cost_cycles),
             collateral_bytes: self.collateral_bytes,
             active_tenant_intact: self.active_tenant_intact,
+            residue_bits_flipped: self.residue_lifetime.residue_bits_flipped,
             residue_lifetime: self.residue_lifetime,
         }
     }
@@ -328,8 +351,12 @@ pub struct ScenarioMetrics {
     /// Whether the co-resident tenants' data survived
     /// (`None` outside multi-tenant / live-traffic schedules).
     pub active_tenant_intact: Option<bool>,
+    /// Bits of the victim's residue the remanence decay view flipped away
+    /// (zero under [`zynq_dram::RemanenceModel::Perfect`]); the full
+    /// residue-fidelity breakdown lives on `residue_lifetime`.
+    pub residue_bits_flipped: u64,
     /// Residue-lifetime measurements (revival inheritance, scrape-time
-    /// residue loss, churn depth).
+    /// residue loss, churn depth, remanence decay fidelity).
     pub residue_lifetime: ResidueLifetime,
 }
 
@@ -533,9 +560,14 @@ impl AttackScenario {
         let start = (splitmix64(self.seed ^ 0x7AFF_1C00) % traffic_zoo.len() as u64) as usize;
         traffic_zoo.rotate_left(start);
 
+        // The board's remanence decay draws are seeded from the scenario
+        // seed, so a decayed scrape replays exactly per campaign cell.
+        let mut kernel = Kernel::boot(self.board);
+        kernel.set_remanence_seed(splitmix64(self.seed ^ 0x6B5F_0D7A));
+
         let mut booted = BootedScenario {
             scenario: self,
-            kernel: Kernel::boot(self.board),
+            kernel,
             pipeline,
             tenants: Vec::new(),
             traffic_zoo,
@@ -843,6 +875,12 @@ impl<'a> BootedScenario<'a> {
             Vec::with_capacity(translation.pages().len());
         for (index, page) in translation.pages().iter().enumerate() {
             if index > 0 && index % CHURN_CHUNK_PAGES == 0 {
+                // Each churned chunk is one logical tick: the slow, chunked
+                // scrape gives residue time to decay under a non-perfect
+                // remanence model (and gives background scrubbers time to
+                // fire), sequenced by chunk count — never wall clock — so
+                // campaigns stay replayable.
+                self.kernel.tick(1);
                 for _ in 0..churn_rate {
                     // Only churn that actually happened counts: with no
                     // tenants to cycle there is no event to record.
@@ -975,6 +1013,14 @@ impl<'a> BootedScenario<'a> {
                     .execute(&mut debugger, &self.kernel, &observation)?
             }
         };
+
+        // Residue-fidelity accounting: how much of the victim's residue the
+        // remanence decay view had taken away by the time the attack ended
+        // (all zeros under the perfect model).
+        let decay = self.kernel.dram().residue_decay(Some(victim_tag));
+        lifetime.residue_bytes_raw = decay.raw_bytes;
+        lifetime.residue_bytes_decayed = decay.raw_bytes - decay.surviving_bytes;
+        lifetime.residue_bits_flipped = decay.bits_flipped;
 
         let collateral_bytes = self
             .kernel
@@ -1390,6 +1436,103 @@ mod tests {
             .execute();
         let err = result.unwrap_err();
         assert!(err.to_string().contains("zero workers"), "{err}");
+    }
+
+    #[test]
+    fn remanence_decay_degrades_recovery_and_replays_by_seed() {
+        use zynq_dram::RemanenceModel;
+        let at = |model: RemanenceModel| {
+            AttackScenario::new(
+                BoardConfig::tiny_for_tests().with_remanence(model),
+                ModelKind::SqueezeNet,
+            )
+            .with_corrupted_input()
+            .with_seed(21)
+            .execute()
+            .unwrap()
+        };
+
+        // The perfect model is today's all-or-nothing residue: nothing flips.
+        let perfect = at(RemanenceModel::Perfect);
+        assert_eq!(perfect.residue_lifetime().residue_bits_flipped, 0);
+        assert_eq!(perfect.metrics().residue_bits_flipped, 0);
+        assert_eq!(perfect.residue_lifetime().decayed_recovery_rate(), 1.0);
+        assert!(perfect.pixel_recovery_rate() > 0.99);
+
+        // A short half-life loses real residue between termination and the
+        // scrape, and the loss shows up in the recovered image.
+        let decayed = at(RemanenceModel::Exponential { half_life_ticks: 2 });
+        let lifetime = decayed.residue_lifetime();
+        assert!(lifetime.residue_bytes_raw > 0);
+        assert!(lifetime.residue_bytes_decayed > 0);
+        assert!(lifetime.residue_bits_flipped > 0);
+        assert!(lifetime.decayed_recovery_rate() < 1.0);
+        assert_eq!(
+            decayed.metrics().residue_bits_flipped,
+            lifetime.residue_bits_flipped
+        );
+        assert!(decayed.pixel_recovery_rate() < perfect.pixel_recovery_rate());
+
+        // Decay is seeded from the scenario seed: the same cell replays
+        // bit-exactly, a different seed decays different cells.
+        let replay = at(RemanenceModel::Exponential { half_life_ticks: 2 });
+        assert_eq!(decayed.metrics(), replay.metrics());
+        let reseeded = AttackScenario::new(
+            BoardConfig::tiny_for_tests()
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 2 }),
+            ModelKind::SqueezeNet,
+        )
+        .with_corrupted_input()
+        .with_seed(22)
+        .execute()
+        .unwrap();
+        assert_ne!(
+            reseeded.residue_lifetime().residue_bits_flipped,
+            lifetime.residue_bits_flipped
+        );
+    }
+
+    #[test]
+    fn remanence_decay_composes_with_revival_and_live_traffic() {
+        use zynq_dram::RemanenceModel;
+        let base = BoardConfig::tiny_for_tests()
+            .with_remanence(RemanenceModel::BitFlip { rate_ppm: 120_000 });
+
+        // Revival successors advance the logical clock, so the late-arriving
+        // attacker sees further-decayed residue.
+        let revival = AttackScenario::new(base, ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            })
+            .with_seed(5)
+            .execute()
+            .unwrap();
+        assert!(revival.residue_lifetime().residue_bits_flipped > 0);
+
+        // Chunked live-traffic scrapes tick the decay clock between chunks.
+        let live = AttackScenario::new(base, ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 1,
+                churn_rate: 0,
+            })
+            .with_seed(5)
+            .execute()
+            .unwrap();
+        assert!(live.residue_lifetime().residue_bits_flipped > 0);
+        // Replays stay exact even with mid-scrape decay ticks.
+        let replay = AttackScenario::new(base, ModelKind::SqueezeNet)
+            .with_corrupted_input()
+            .with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 1,
+                churn_rate: 0,
+            })
+            .with_seed(5)
+            .execute()
+            .unwrap();
+        assert_eq!(live.metrics(), replay.metrics());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::addr::{FrameNumber, PhysAddr, PAGE_SIZE};
 use crate::config::DramConfig;
 use crate::error::DramError;
 use crate::mapping::DdrMapping;
+use crate::remanence::{cell_hash, RemanenceModel, ResidueDecay};
 use crate::stats::DramStats;
 
 /// Identifies the software entity (in practice: a process id) that owns the
@@ -72,10 +73,16 @@ pub struct FrameOwnership {
 }
 
 /// One bank's shard of the backing store: the stripes of this bank that have
-/// been written at least once, keyed by global stripe index.
+/// been written at least once, keyed by global stripe index, plus the
+/// bank-local remanence decay state.
 #[derive(Debug, Clone, Default)]
 struct BankShard {
     stripes: HashMap<u64, Box<[u8]>>,
+    /// Remanence decay origins: for each decay granule (one DRAM row clipped
+    /// to a frame — see [`Dram::decay_granule_bytes`]) of this bank currently
+    /// holding residue, the logical tick at which its owner terminated.
+    /// Empty — and never consulted — under [`RemanenceModel::Perfect`].
+    decay_origins: HashMap<u64, u64>,
 }
 
 /// The simulated DRAM device.
@@ -109,6 +116,15 @@ pub struct Dram {
     materialized: HashSet<u64>,
     ownership: HashMap<u64, FrameOwnership>,
     stats: DramStats,
+    /// How residue decays over logical ticks ([`RemanenceModel::Perfect`]
+    /// keeps the pre-remanence behavior bit-exactly).
+    remanence: RemanenceModel,
+    /// Seed of the per-cell decay draws (the campaign threads the cell seed
+    /// here, so decay is replayable per cell).
+    remanence_seed: u64,
+    /// The device's logical decay clock — advanced by the kernel on scenario
+    /// steps and churned scrape chunks, never by wall clock.
+    remanence_tick: u64,
 }
 
 impl Dram {
@@ -123,7 +139,42 @@ impl Dram {
             materialized: HashSet::new(),
             ownership: HashMap::new(),
             stats: DramStats::default(),
+            remanence: RemanenceModel::Perfect,
+            remanence_seed: 0,
+            remanence_tick: 0,
         }
+    }
+
+    /// Sets the remanence decay model (default [`RemanenceModel::Perfect`]).
+    pub fn set_remanence(&mut self, model: RemanenceModel) {
+        self.remanence = model;
+    }
+
+    /// Seeds the per-cell decay draws (the campaign engine passes the cell
+    /// seed, making decayed scrapes replayable per cell).
+    pub fn set_remanence_seed(&mut self, seed: u64) {
+        self.remanence_seed = seed;
+    }
+
+    /// The active remanence decay model.
+    pub fn remanence(&self) -> RemanenceModel {
+        self.remanence
+    }
+
+    /// The current logical decay tick.
+    pub fn remanence_tick(&self) -> u64 {
+        self.remanence_tick
+    }
+
+    /// Advances the logical decay clock by `ticks`.
+    ///
+    /// Ticks are *logical* — the kernel advances them on scenario steps
+    /// (spawns, writes, terminations) and on churned scrape chunks, never on
+    /// wall clock, so 1-worker and N-worker campaign runs see identical decay.
+    /// Nothing is mutated here: decay is applied lazily, as a pure view, when
+    /// non-owned residue is read.
+    pub fn advance_remanence(&mut self, ticks: u64) {
+        self.remanence_tick += ticks;
     }
 
     /// The configuration this device was built with.
@@ -192,6 +243,113 @@ impl Dram {
             .or_insert_with(|| vec![0u8; bytes].into_boxed_slice())
     }
 
+    /// Bytes per decay granule: one DRAM row clipped to a frame.  Residue
+    /// transitions (termination, re-ownership, scrubbing) are frame-granular
+    /// and stripes are the shard-routing unit, so the granule — the largest
+    /// block contained in exactly one frame *and* one stripe — is the exact
+    /// granularity at which decay epochs can open and close.  On the real
+    /// geometries (row ≤ page) this is simply the bank stripe; only the
+    /// synthetic stripe-larger-than-page test geometries clip it.
+    fn decay_granule_bytes(&self) -> u64 {
+        self.stripe_bytes.min(PAGE_SIZE)
+    }
+
+    /// Global decay-granule indices covering frame `idx` (each granule lies
+    /// entirely inside the frame — both are powers of two).
+    fn frame_decay_granules(&self, idx: u64) -> std::ops::Range<u64> {
+        let g = self.decay_granule_bytes();
+        (idx * PAGE_SIZE / g)..((idx + 1) * PAGE_SIZE / g)
+    }
+
+    /// The bank shard holding a decay granule's origin record (the bank of
+    /// the stripe the granule belongs to).
+    fn granule_bank(&self, granule: u64) -> usize {
+        self.stripe_bank(granule * self.decay_granule_bytes() / self.stripe_bytes)
+    }
+
+    /// Records the residue origin of every decay granule of frame `idx`
+    /// (called when the frame's owner terminates).  Granules are contained
+    /// in the frame, so the frame's termination tick *is* their epoch —
+    /// including when an earlier epoch's stale record is being replaced
+    /// after the frame was re-owned and retired again.
+    fn stamp_decay_origins(&mut self, idx: u64) {
+        let tick = self.remanence_tick;
+        for granule in self.frame_decay_granules(idx) {
+            let bank = self.granule_bank(granule);
+            self.banks[bank].decay_origins.insert(granule, tick);
+        }
+    }
+
+    /// Drops the decay origins of frame `idx`'s granules (called when the
+    /// frame stops being residue: re-owned by a live writer or scrubbed
+    /// clean).  Exact in every geometry, since a granule never straddles
+    /// frames.
+    fn clear_decay_origins(&mut self, idx: u64) {
+        for granule in self.frame_decay_granules(idx) {
+            let bank = self.granule_bank(granule);
+            self.banks[bank].decay_origins.remove(&granule);
+        }
+    }
+
+    /// Applies the remanence decay view to `buf` (previously filled from the
+    /// raw store starting at `addr`): bytes belonging to residue frames are
+    /// mapped through the model's decay curve, everything else is returned
+    /// raw.
+    ///
+    /// The view is a pure function of the decay seed, the cell coordinates,
+    /// the granule's residue origin and the current logical tick — no state
+    /// is mutated — so sequential and bank-parallel readers produce identical
+    /// bytes, and the whole pass is skipped by one branch under
+    /// [`RemanenceModel::Perfect`].
+    fn apply_decay_view(&self, addr: PhysAddr, buf: &mut [u8]) {
+        if self.remanence.is_perfect() || buf.is_empty() {
+            return;
+        }
+        let base = self.config.base();
+        let sb = self.stripe_bytes;
+        let granule_bytes = self.decay_granule_bytes();
+        let now = self.remanence_tick;
+        let mut cursor = 0usize;
+        while cursor < buf.len() {
+            let rel = (addr + cursor as u64).offset_from(base);
+            // Chunks never cross a frame (residue gating) or stripe (hash
+            // coordinates) boundary — which also pins them inside one decay
+            // granule, since the granule is the smaller of the two.
+            let frame_remaining = PAGE_SIZE - rel % PAGE_SIZE;
+            let stripe = rel / sb;
+            let stripe_remaining = sb - rel % sb;
+            let chunk = frame_remaining
+                .min(stripe_remaining)
+                .min((buf.len() - cursor) as u64) as usize;
+            let frame = rel / PAGE_SIZE;
+            let is_residue = self.ownership.get(&frame).is_some_and(|rec| !rec.live);
+            if is_residue {
+                let origin = self.banks[self.stripe_bank(stripe)]
+                    .decay_origins
+                    .get(&(rel / granule_bytes));
+                if let Some(&origin) = origin {
+                    let curve = self.remanence.curve(now.saturating_sub(origin));
+                    if !curve.is_identity() {
+                        let offset_in_stripe = rel % sb;
+                        for (i, byte) in buf[cursor..cursor + chunk].iter_mut().enumerate() {
+                            if *byte != 0 {
+                                *byte = curve.apply(
+                                    *byte,
+                                    cell_hash(
+                                        self.remanence_seed,
+                                        stripe,
+                                        offset_in_stripe + i as u64,
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            cursor += chunk;
+        }
+    }
+
     fn check_range(&self, addr: PhysAddr, len: u64) -> Result<(), DramError> {
         if len > 0 && addr.checked_add(len - 1).is_none() {
             return Err(DramError::LengthOverflow { addr, len });
@@ -221,28 +379,39 @@ impl Dram {
         self.check_range(addr, 1)?;
         let rel = addr.offset_from(self.config.base());
         let offset = (rel % self.stripe_bytes) as usize;
-        Ok(self
+        let mut byte = [self
             .stripe(rel / self.stripe_bytes)
             .map(|s| s[offset])
-            .unwrap_or(0))
+            .unwrap_or(0)];
+        self.apply_decay_view(addr, &mut byte);
+        Ok(byte[0])
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
     ///
     /// Unmaterialized stripes read as zero, matching DRAM that has been
-    /// initialized once at power-on.
+    /// initialized once at power-on.  Bytes belonging to terminated-process
+    /// residue are returned through the remanence decay view (a pure,
+    /// non-mutating transformation; inert under [`RemanenceModel::Perfect`]).
     ///
     /// # Errors
     ///
     /// Returns [`DramError::OutOfRange`] if any byte falls outside the window.
     pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), DramError> {
         self.check_range(addr, buf.len() as u64)?;
-        self.read_bytes_unchecked(addr, buf);
+        self.read_decayed_unchecked(addr, buf);
         Ok(())
     }
 
-    /// The range-checked body of [`Dram::read_bytes`]: one shard lookup per
-    /// touched bank stripe, bulk-copying stripe-sized chunks.
+    /// The range-checked body of [`Dram::read_bytes`]: raw shard copy
+    /// followed by the lazy decay view.
+    fn read_decayed_unchecked(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.read_bytes_unchecked(addr, buf);
+        self.apply_decay_view(addr, buf);
+    }
+
+    /// The raw (pre-decay) bulk read: one shard lookup per touched bank
+    /// stripe, bulk-copying stripe-sized chunks.
     fn read_bytes_unchecked(&self, addr: PhysAddr, buf: &mut [u8]) {
         let base = self.config.base();
         let sb = self.stripe_bytes;
@@ -311,7 +480,7 @@ impl Dram {
         }
         self.check_range(addr, buf.len() as u64)?;
         if workers == 1 || buf.len() as u64 <= self.stripe_bytes {
-            self.read_bytes_unchecked(addr, buf);
+            self.read_decayed_unchecked(addr, buf);
             return Ok(());
         }
         // Split the output into stripe-aligned contiguous pieces, one per
@@ -339,7 +508,9 @@ impl Dram {
                 let (piece, tail) = rest.split_at_mut(piece_len);
                 rest = tail;
                 let start = piece_addr;
-                scope.spawn(move || self.read_bytes_unchecked(start, piece));
+                // Decay is a pure per-cell function, so applying it piecewise
+                // inside each worker is byte-identical to the sequential pass.
+                scope.spawn(move || self.read_decayed_unchecked(start, piece));
                 piece_addr += piece_len as u64;
             }
             // Any residue (rounding) is handled by the last allotment covering
@@ -365,9 +536,15 @@ impl Dram {
         }
         let first = self.frame_index(addr);
         let last = self.frame_index(addr + (len - 1));
+        let track_decay = !self.remanence.is_perfect();
         for idx in first..=last {
             self.materialized.insert(idx);
             self.tag_frame(idx, owner);
+            if track_decay {
+                // The frame is live again: it is no longer residue, so its
+                // decay epoch ends.
+                self.clear_decay_origins(idx);
+            }
         }
     }
 
@@ -538,12 +715,17 @@ impl Dram {
         let last = self.frame_index(addr + (len - 1));
         let rel_start = addr.offset_from(self.config.base());
         let rel_end = rel_start + len;
+        let track_decay = !self.remanence.is_perfect();
         for idx in first..=last {
             // A frame fully covered by the scrub is zero by construction; a
             // partially covered one must be scanned.
             let fully_covered = idx * PAGE_SIZE >= rel_start && (idx + 1) * PAGE_SIZE <= rel_end;
             if fully_covered || self.frame_is_zero(idx) {
                 self.ownership.remove(&idx);
+                if track_decay {
+                    // Scrubbed clean: nothing left to decay.
+                    self.clear_decay_origins(idx);
+                }
             }
         }
     }
@@ -645,16 +827,25 @@ impl Dram {
     /// Marks every live frame owned by `owner` as dead (terminated-process
     /// residue) without clearing any data.
     ///
+    /// Under a non-perfect [`RemanenceModel`] this also opens the decay epoch
+    /// of every stripe the retired frames touch: the residue starts decaying
+    /// from the current logical tick.
+    ///
     /// Returns the number of frames transitioned to the residue state.
     pub fn retire_owner(&mut self, owner: OwnerTag) -> usize {
-        let mut count = 0;
-        for record in self.ownership.values_mut() {
+        let mut retired = Vec::new();
+        for (idx, record) in self.ownership.iter_mut() {
             if record.owner == owner && record.live {
                 record.live = false;
-                count += 1;
+                retired.push(*idx);
             }
         }
-        count
+        if !self.remanence.is_perfect() {
+            for idx in &retired {
+                self.stamp_decay_origins(*idx);
+            }
+        }
+        retired.len()
     }
 
     /// Returns the ownership record of a frame, if any entity has written it.
@@ -713,13 +904,67 @@ impl Dram {
     /// Total number of bytes that differ from zero in residue frames.
     ///
     /// This is the quantity the defense experiments report as "recoverable
-    /// residue".
+    /// residue".  It counts the *raw* store, before the remanence decay view
+    /// — use [`Dram::residue_decay`] for the decayed (attacker-visible)
+    /// fidelity.
     pub fn residue_bytes(&self) -> u64 {
         self.ownership
             .iter()
             .filter(|(_, rec)| !rec.live)
             .map(|(idx, _)| self.frame_nonzero_bytes(*idx))
             .sum()
+    }
+
+    /// Measures how much of the residue the remanence decay view still
+    /// exposes, optionally restricted to one owner's residue frames.
+    ///
+    /// Compares the raw store against the decayed view frame by frame:
+    /// `raw_bytes` counts non-zero residue bytes before decay,
+    /// `surviving_bytes` those still non-zero through the view, and
+    /// `bits_flipped` every bit the view lost.  Under
+    /// [`RemanenceModel::Perfect`] the view is the identity, so
+    /// `bits_flipped` is always zero.
+    pub fn residue_decay(&self, owner: Option<OwnerTag>) -> ResidueDecay {
+        let mut decay = ResidueDecay::default();
+        let mut frames: Vec<u64> = self
+            .ownership
+            .iter()
+            .filter(|(_, rec)| !rec.live && owner.is_none_or(|o| rec.owner == o))
+            .map(|(idx, _)| *idx)
+            .collect();
+        frames.sort_unstable();
+        if self.remanence.is_perfect() {
+            // The view is the identity: the answer is knowable without
+            // materializing a single decayed byte.
+            let raw: u64 = frames
+                .iter()
+                .map(|idx| self.frame_nonzero_bytes(*idx))
+                .sum();
+            return ResidueDecay {
+                raw_bytes: raw,
+                surviving_bytes: raw,
+                bits_flipped: 0,
+            };
+        }
+        let mut raw = vec![0u8; PAGE_SIZE as usize];
+        let mut seen = vec![0u8; PAGE_SIZE as usize];
+        let base = self.config.base();
+        for idx in frames {
+            let addr = base + idx * PAGE_SIZE;
+            self.read_bytes_unchecked(addr, &mut raw);
+            seen.copy_from_slice(&raw);
+            self.apply_decay_view(addr, &mut seen);
+            for (r, s) in raw.iter().zip(&seen) {
+                if *r != 0 {
+                    decay.raw_bytes += 1;
+                    if *s != 0 {
+                        decay.surviving_bytes += 1;
+                    }
+                }
+                decay.bits_flipped += (r ^ s).count_ones() as u64;
+            }
+        }
+        decay
     }
 
     /// Number of frames that have been materialized (written at least once).
@@ -1062,6 +1307,196 @@ mod tests {
         let mut tiny = vec![0u8; 10];
         d.scrape_banks_parallel(base + 5, &mut tiny, 64).unwrap();
         assert_eq!(tiny, serial[5..15]);
+    }
+
+    /// A device with decaying remanence, a retired victim and a live
+    /// neighbour, for the decay-view tests below.
+    fn decaying_dram(model: RemanenceModel) -> (Dram, PhysAddr, PhysAddr) {
+        let mut d = dram();
+        d.set_remanence(model);
+        d.set_remanence_seed(0x5EED);
+        let victim = OwnerTag::new(1391);
+        let live = OwnerTag::new(77);
+        let base = d.config().base();
+        let neighbour = base + 4 * PAGE_SIZE;
+        d.fill(base, 3 * PAGE_SIZE, 0xEE, victim).unwrap();
+        d.fill(neighbour, PAGE_SIZE, 0xAB, live).unwrap();
+        d.retire_owner(victim);
+        (d, base, neighbour)
+    }
+
+    #[test]
+    fn perfect_remanence_changes_nothing() {
+        let (d, base, _) = decaying_dram(RemanenceModel::Perfect);
+        let mut d = d;
+        d.advance_remanence(1_000);
+        assert_eq!(d.read_u8(base).unwrap(), 0xEE);
+        let mut buf = vec![0u8; 3 * PAGE_SIZE as usize];
+        d.read_bytes(base, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xEE));
+        assert_eq!(d.residue_decay(None).bits_flipped, 0);
+        assert_eq!(d.residue_decay(None).survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn residue_decays_over_logical_ticks_but_live_data_never_does() {
+        let (mut d, base, neighbour) =
+            decaying_dram(RemanenceModel::Exponential { half_life_ticks: 2 });
+        // At the moment of termination nothing has decayed yet.
+        let mut before = vec![0u8; 3 * PAGE_SIZE as usize];
+        d.read_bytes(base, &mut before).unwrap();
+        assert!(before.iter().all(|&b| b == 0xEE));
+
+        d.advance_remanence(4);
+        let mut after = vec![0u8; 3 * PAGE_SIZE as usize];
+        d.read_bytes(base, &mut after).unwrap();
+        let survivors = after.iter().filter(|&&b| b != 0).count();
+        assert!(survivors > 0, "some residue survives two half-lives");
+        assert!(
+            survivors < after.len(),
+            "some residue decays after two half-lives"
+        );
+        // Decayed bytes read zero; surviving bytes read raw.
+        assert!(after.iter().all(|&b| b == 0 || b == 0xEE));
+
+        // The live neighbour is untouched at every tick.
+        let mut live = vec![0u8; PAGE_SIZE as usize];
+        d.read_bytes(neighbour, &mut live).unwrap();
+        assert!(live.iter().all(|&b| b == 0xAB));
+
+        // The raw store never mutated: ground-truth residue is still intact.
+        assert_eq!(d.residue_bytes(), 3 * PAGE_SIZE);
+        let decay = d.residue_decay(Some(OwnerTag::new(1391)));
+        assert_eq!(decay.raw_bytes, 3 * PAGE_SIZE);
+        assert_eq!(decay.surviving_bytes, survivors as u64);
+        assert!(decay.bits_flipped > 0);
+        assert!(decay.survival_rate() < 1.0);
+    }
+
+    #[test]
+    fn decay_is_monotone_and_creates_no_bits() {
+        let (mut d, base, _) = decaying_dram(RemanenceModel::BitFlip { rate_ppm: 150_000 });
+        let len = 3 * PAGE_SIZE as usize;
+        let mut previous = vec![0u8; len];
+        d.read_bytes(base, &mut previous).unwrap();
+        for _ in 0..5 {
+            d.advance_remanence(3);
+            let mut now = vec![0u8; len];
+            d.read_bytes(base, &mut now).unwrap();
+            for (n, p) in now.iter().zip(&previous) {
+                assert_eq!(n & p, *n, "bits only ever discharge");
+            }
+            previous = now;
+        }
+    }
+
+    #[test]
+    fn decayed_parallel_scrape_is_byte_identical_to_sequential() {
+        for model in [
+            RemanenceModel::Exponential { half_life_ticks: 3 },
+            RemanenceModel::BitFlip { rate_ppm: 300_000 },
+        ] {
+            let (mut d, base, _) = decaying_dram(model);
+            d.advance_remanence(5);
+            let len = 6 * PAGE_SIZE as usize;
+            let mut serial = vec![0u8; len];
+            d.read_bytes(base, &mut serial).unwrap();
+            for workers in [1usize, 2, 3, 4, 7] {
+                let mut parallel = vec![0u8; len];
+                d.scrape_banks_parallel(base, &mut parallel, workers)
+                    .unwrap();
+                assert_eq!(serial, parallel, "{model} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn rewriting_residue_resets_its_decay_epoch() {
+        let (mut d, base, _) = decaying_dram(RemanenceModel::Exponential { half_life_ticks: 1 });
+        d.advance_remanence(64);
+        // Long after termination everything has decayed away...
+        assert_eq!(d.residue_decay(None).surviving_bytes, 0);
+        // ...but a new owner writing the frame gets its own data back raw,
+        // and a fresh retirement decays from the *new* origin, not the old.
+        let successor = OwnerTag::new(2000);
+        d.fill(base, PAGE_SIZE, 0xC4, successor).unwrap();
+        assert_eq!(d.read_u8(base).unwrap(), 0xC4);
+        d.retire_owner(successor);
+        assert_eq!(d.read_u8(base).unwrap(), 0xC4, "no ticks elapsed yet");
+        let fresh = d.residue_decay(Some(successor));
+        assert_eq!(fresh.surviving_bytes, fresh.raw_bytes);
+    }
+
+    #[test]
+    fn decay_epoch_resets_even_when_stripes_are_larger_than_frames() {
+        // Regression: with a row larger than a page (stripe > frame), the
+        // decay state used to be keyed per stripe and the stale origin of a
+        // long-dead victim was never cleared when a successor re-owned the
+        // frame — so the successor's *fresh* residue read as fully decayed.
+        // Decay state is granule-keyed (stripe clipped to a frame), making
+        // the epoch reset exact in every geometry.
+        use crate::config::DdrGeometry;
+        let config = DramConfig::custom(
+            PhysAddr::new(0x6_0000_0000),
+            8 * 1024 * 1024,
+            DdrGeometry {
+                column_bits: 13, // 8 KiB rows: one stripe spans two frames
+                bank_bits: 1,
+                bank_group_bits: 1,
+                row_bits: 8,
+                rank_bits: 0,
+            },
+        );
+        let mut d = Dram::new(config);
+        assert!(d.stripe_bytes() > PAGE_SIZE);
+        d.set_remanence(RemanenceModel::Exponential { half_life_ticks: 1 });
+        d.set_remanence_seed(7);
+        let base = d.config().base();
+        let victim = OwnerTag::new(1391);
+        d.fill(base, 2 * PAGE_SIZE, 0xEE, victim).unwrap();
+        d.retire_owner(victim);
+        d.advance_remanence(64);
+        assert_eq!(d.residue_decay(None).surviving_bytes, 0);
+
+        // A successor re-owns only the stripe's first frame and terminates
+        // immediately: its residue must read fully intact (fresh epoch)...
+        let successor = OwnerTag::new(2000);
+        d.fill(base, PAGE_SIZE, 0xC4, successor).unwrap();
+        d.retire_owner(successor);
+        assert_eq!(d.read_u8(base).unwrap(), 0xC4);
+        let fresh = d.residue_decay(Some(successor));
+        assert_eq!(fresh.surviving_bytes, fresh.raw_bytes);
+        assert_eq!(fresh.raw_bytes, PAGE_SIZE);
+        // ...while the victim's other frame in the same stripe keeps its old
+        // epoch and stays decayed away.
+        assert_eq!(d.residue_decay(Some(victim)).surviving_bytes, 0);
+        assert_eq!(d.read_u8(base + PAGE_SIZE).unwrap(), 0);
+    }
+
+    #[test]
+    fn scrubbing_residue_clears_its_decay_state() {
+        let (mut d, base, _) = decaying_dram(RemanenceModel::BitFlip { rate_ppm: 500_000 });
+        d.advance_remanence(2);
+        assert!(d.residue_decay(None).bits_flipped > 0);
+        d.scrub_range(base, 3 * PAGE_SIZE).unwrap();
+        let after = d.residue_decay(None);
+        assert_eq!(after, ResidueDecay::default());
+        assert_eq!(after.survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn remanence_accessors_and_defaults() {
+        let mut d = dram();
+        assert_eq!(d.remanence(), RemanenceModel::Perfect);
+        assert_eq!(d.remanence_tick(), 0);
+        d.set_remanence(RemanenceModel::Exponential { half_life_ticks: 9 });
+        d.advance_remanence(3);
+        d.advance_remanence(4);
+        assert_eq!(
+            d.remanence(),
+            RemanenceModel::Exponential { half_life_ticks: 9 }
+        );
+        assert_eq!(d.remanence_tick(), 7);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! - **residue tracking**: every frame remembers which owner (process) last
 //!   wrote it, so "memory residue of a terminated process" is a first-class,
 //!   queryable concept,
+//! - **analog remanence** ([`remanence::RemanenceModel`]): Pentimento-style
+//!   per-cell decay of that residue over logical ticks, applied lazily as a
+//!   pure view when non-owned residue is read — so the hot paths are
+//!   untouched under the perfect (no-decay) model and bank-parallel scrapes
+//!   stay byte-identical to sequential ones,
 //! - end-of-process [`sanitize::SanitizePolicy`] implementations with a cost
 //!   model, used by the defense-evaluation experiments.
 //!
@@ -44,6 +49,7 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod mapping;
+pub mod remanence;
 pub mod sanitize;
 pub mod stats;
 
@@ -52,5 +58,6 @@ pub use config::DramConfig;
 pub use device::{Dram, OwnerTag};
 pub use error::DramError;
 pub use mapping::{BankChunk, DdrCoordinates, DdrMapping};
+pub use remanence::{RemanenceModel, ResidueDecay};
 pub use sanitize::{SanitizeCost, SanitizePolicy, ScrubReport};
 pub use stats::DramStats;

@@ -152,10 +152,12 @@ impl DdrMapping {
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::OutsideWindow`] if any byte of the range falls
-    /// outside the window (the same rejection rule as
-    /// [`DdrMapping::decompose`]), and [`DramError::EmptyRange`] for a
-    /// zero-length range.
+    /// Returns [`DramError::OutsideWindow`] naming the **offending address**
+    /// if any byte of the range falls outside the window — the range start
+    /// when the start itself is outside, otherwise the range's last byte (the
+    /// one that escaped past the window end).  A length that overflows the
+    /// address space is [`DramError::LengthOverflow`], and a zero-length
+    /// range is [`DramError::EmptyRange`].
     pub fn split_at_bank_boundaries(
         &self,
         addr: PhysAddr,
@@ -166,9 +168,12 @@ impl DdrMapping {
         }
         let last = addr
             .checked_add(len - 1)
-            .ok_or(DramError::OutsideWindow { addr })?;
-        if !self.config.contains(addr) || !self.config.contains(last) {
+            .ok_or(DramError::LengthOverflow { addr, len })?;
+        if !self.config.contains(addr) {
             return Err(DramError::OutsideWindow { addr });
+        }
+        if !self.config.contains(last) {
+            return Err(DramError::OutsideWindow { addr: last });
         }
         let sb = self.stripe_bytes();
         let base = self.config.base();
@@ -400,6 +405,48 @@ mod tests {
         assert!(matches!(
             m.split_at_bank_boundaries(last, 0),
             Err(DramError::EmptyRange { .. })
+        ));
+    }
+
+    #[test]
+    fn split_reports_the_offending_address_not_just_the_range_start() {
+        // Satellite fix: a range whose *end* escapes the window used to blame
+        // the (perfectly valid) range start.  The error must name the byte
+        // that actually escaped.
+        let m = mapping();
+        let end = m.config().end();
+        let last = end - 1;
+
+        // Start in-window, end one byte past: the offender is the escaped
+        // last byte, not the start.
+        assert!(matches!(
+            m.split_at_bank_boundaries(last, 2),
+            Err(DramError::OutsideWindow { addr }) if addr == end
+        ));
+        // Deeper escape: still the range's last byte.
+        assert!(matches!(
+            m.split_at_bank_boundaries(end - 16, 64),
+            Err(DramError::OutsideWindow { addr }) if addr == end - 16 + 63
+        ));
+        // Start already outside: the start is the offender.
+        assert!(matches!(
+            m.split_at_bank_boundaries(end, 4),
+            Err(DramError::OutsideWindow { addr }) if addr == end
+        ));
+        let below = PhysAddr::new(0x1000);
+        assert!(matches!(
+            m.split_at_bank_boundaries(below, 4),
+            Err(DramError::OutsideWindow { addr }) if addr == below
+        ));
+        // Exact window boundary: the final in-window byte splits fine, and a
+        // range ending exactly at the window end is accepted in full.
+        assert!(m.split_at_bank_boundaries(last, 1).is_ok());
+        let chunks = m.split_at_bank_boundaries(end - 4096, 4096).unwrap();
+        assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), 4096);
+        // Length overflow is its own typed error, preserving the length.
+        assert!(matches!(
+            m.split_at_bank_boundaries(last, u64::MAX),
+            Err(DramError::LengthOverflow { len: u64::MAX, .. })
         ));
     }
 

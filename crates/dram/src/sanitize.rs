@@ -16,6 +16,14 @@
 //! | [`SanitizePolicy::RowReset`] | every bank touched by a freed frame | per-bank reset (fastest) | clears whole banks of live data |
 //! | [`SanitizePolicy::SelectiveScrub`] | exactly the freed frames, row-burst granularity | per-row activation + per-word store | none (the paper's "needed solution") |
 //! | [`SanitizePolicy::Background`] | freed frames, but only after a delay | same as selective, deferred | leaves a vulnerability window |
+//!
+//! Sanitizers operate on the **raw** store, beneath the remanence decay view
+//! ([`crate::remanence::RemanenceModel`]): a scrub clears the same bytes,
+//! charges the same cycles and reports the same collateral whether the
+//! residue had analog-decayed or not, and scrubbing a frame closes its decay
+//! epoch (there is nothing left to decay).  The zero-ownership pass uses raw
+//! bytes too, so a decayed-to-zero *view* never silently drops a frame's
+//! attribution while its cells still hold recoverable charge.
 
 use std::fmt;
 
@@ -545,6 +553,46 @@ mod tests {
                 "{policy} stats"
             );
             assert_eq!(serial_dram.residue_bytes(), parallel_dram.residue_bytes());
+        }
+    }
+
+    #[test]
+    fn sanitizers_are_remanence_independent() {
+        // A policy applied under a decaying remanence model produces the
+        // identical report (bytes, cost, collateral) as under the perfect
+        // model — scrubbing works on the raw store — and it closes the decay
+        // epoch of everything it clears.
+        use crate::remanence::RemanenceModel;
+        for policy in SanitizePolicy::all_basic() {
+            let (mut perfect_dram, victim, frames) = setup();
+            let (mut decayed_dram, victim_d, frames_d) = setup();
+            decayed_dram.set_remanence(RemanenceModel::Exponential { half_life_ticks: 1 });
+            decayed_dram.set_remanence_seed(11);
+            decayed_dram.retire_owner(victim_d);
+            decayed_dram.advance_remanence(10);
+            // The decayed *view* is mostly gone, but the raw residue the
+            // sanitizer must clear is fully intact.
+            assert_eq!(decayed_dram.residue_bytes(), 3 * PAGE_SIZE);
+
+            let a = policy.apply(&mut perfect_dram, victim, &frames, &SanitizeCost::default());
+            let b = policy.apply(
+                &mut decayed_dram,
+                victim_d,
+                &frames_d,
+                &SanitizeCost::default(),
+            );
+            assert_eq!(a, b, "{policy} report must not depend on remanence");
+            // Frame-exact and span policies clear everything; RowReset is
+            // bank-granular and leaves the other bank groups' columns (its
+            // known partial-stripe behavior, pinned by the defense sweeps).
+            if matches!(
+                policy,
+                SanitizePolicy::ZeroOnFree
+                    | SanitizePolicy::RowClone
+                    | SanitizePolicy::SelectiveScrub
+            ) {
+                assert_eq!(decayed_dram.residue_decay(None).raw_bytes, 0, "{policy}");
+            }
         }
     }
 

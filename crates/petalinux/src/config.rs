@@ -1,7 +1,7 @@
 //! Board and security-policy configuration.
 
 use serde::{Deserialize, Serialize};
-use zynq_dram::{DramConfig, SanitizeCost, SanitizePolicy};
+use zynq_dram::{DramConfig, RemanenceModel, SanitizeCost, SanitizePolicy};
 use zynq_mmu::{AllocationOrder, AslrMode};
 
 /// Whether the board confines debugger-style access to a user's own
@@ -74,6 +74,7 @@ pub struct BoardConfig {
     isolation: IsolationPolicy,
     allocation_order: AllocationOrder,
     aslr: AslrMode,
+    remanence: RemanenceModel,
     hostname: &'static str,
 }
 
@@ -88,6 +89,7 @@ impl BoardConfig {
             isolation: IsolationPolicy::Permissive,
             allocation_order: AllocationOrder::Sequential,
             aslr: AslrMode::Disabled,
+            remanence: RemanenceModel::Perfect,
             hostname: "xilinx-zcu104-20222",
         }
     }
@@ -140,6 +142,14 @@ impl BoardConfig {
         self
     }
 
+    /// Sets the DRAM remanence decay model (default
+    /// [`RemanenceModel::Perfect`], the all-or-nothing residue every earlier
+    /// experiment ran on).
+    pub fn with_remanence(mut self, remanence: RemanenceModel) -> Self {
+        self.remanence = remanence;
+        self
+    }
+
     /// The DRAM window configuration.
     pub fn dram(&self) -> DramConfig {
         self.dram
@@ -170,6 +180,11 @@ impl BoardConfig {
         self.aslr
     }
 
+    /// The DRAM remanence decay model.
+    pub fn remanence(&self) -> RemanenceModel {
+        self.remanence
+    }
+
     /// The shell prompt hostname (cosmetic, used in rendered figures).
     pub fn hostname(&self) -> &'static str {
         self.hostname
@@ -194,6 +209,7 @@ mod tests {
         assert_eq!(cfg.isolation(), IsolationPolicy::Permissive);
         assert_eq!(cfg.allocation_order(), AllocationOrder::Sequential);
         assert_eq!(cfg.aslr(), AslrMode::Disabled);
+        assert_eq!(cfg.remanence(), RemanenceModel::Perfect);
         assert_eq!(cfg.hostname(), "xilinx-zcu104-20222");
         assert_eq!(BoardConfig::default(), cfg);
     }
@@ -214,6 +230,7 @@ mod tests {
             .with_isolation(IsolationPolicy::Confined)
             .with_allocation_order(AllocationOrder::Randomized { seed: 3 })
             .with_aslr(AslrMode::Virtual { seed: 5 })
+            .with_remanence(RemanenceModel::Exponential { half_life_ticks: 8 })
             .with_sanitize_cost(SanitizeCost::default());
         assert_eq!(cfg.sanitize_policy(), SanitizePolicy::ZeroOnFree);
         assert_eq!(cfg.isolation(), IsolationPolicy::Confined);
@@ -222,6 +239,10 @@ mod tests {
             AllocationOrder::Randomized { seed: 3 }
         );
         assert_eq!(cfg.aslr(), AslrMode::Virtual { seed: 5 });
+        assert_eq!(
+            cfg.remanence(),
+            RemanenceModel::Exponential { half_life_ticks: 8 }
+        );
     }
 
     #[test]

@@ -61,9 +61,11 @@ pub struct Kernel {
 impl Kernel {
     /// Boots a kernel with the given board configuration.
     pub fn boot(config: BoardConfig) -> Self {
+        let mut dram = Dram::new(config.dram());
+        dram.set_remanence(config.remanence());
         Kernel {
             config,
-            dram: Dram::new(config.dram()),
+            dram,
             allocator: FrameAllocator::with_order(config.dram(), config.allocation_order()),
             processes: BTreeMap::new(),
             next_pid: FIRST_PID,
@@ -93,6 +95,22 @@ impl Kernel {
         self.clock
     }
 
+    /// Seeds the DRAM remanence decay draws (scenarios pass their cell seed
+    /// so decayed scrapes replay exactly).  A no-op observable only under a
+    /// non-perfect [`zynq_dram::RemanenceModel`].
+    pub fn set_remanence_seed(&mut self, seed: u64) {
+        self.dram.set_remanence_seed(seed);
+    }
+
+    /// Advances the kernel's logical clock, keeping the DRAM remanence decay
+    /// clock in lock-step: every scenario step that moves the kernel clock
+    /// (spawns, writes, terminations, explicit [`Kernel::tick`]s) is one unit
+    /// of decay time.  Never driven by wall clock.
+    fn advance_clock(&mut self, ticks: u64) {
+        self.clock += ticks;
+        self.dram.advance_remanence(ticks);
+    }
+
     /// Reports produced by every sanitization run so far (one per terminated
     /// process, plus one per completed background scrub).
     pub fn scrub_reports(&self) -> &[ScrubReport] {
@@ -102,7 +120,7 @@ impl Kernel {
     /// Advances the kernel clock by `ticks`, running any background scrubs
     /// whose deadline has passed.
     pub fn tick(&mut self, ticks: u64) {
-        self.clock += ticks;
+        self.advance_clock(ticks);
         let clock = self.clock;
         let (due, pending): (Vec<_>, Vec<_>) = std::mem::take(&mut self.deferred)
             .into_iter()
@@ -154,7 +172,7 @@ impl Kernel {
             space,
         );
         self.processes.insert(pid, process);
-        self.clock += 1;
+        self.advance_clock(1);
     }
 
     /// Spawns a new process that *reuses* the pid of a terminated one — the
@@ -311,7 +329,7 @@ impl Kernel {
             self.dram
                 .write_bytes(pa, &data[start..start + len], owner)?;
         }
-        self.clock += 1;
+        self.advance_clock(1);
         Ok(())
     }
 
@@ -384,7 +402,7 @@ impl Kernel {
             }
         }
         self.scrub_reports.push(report.clone());
-        self.clock += 1;
+        self.advance_clock(1);
         Ok(report)
     }
 
@@ -762,6 +780,48 @@ mod tests {
             ),
             Err(KernelError::ProcessTerminated { .. })
         ));
+    }
+
+    #[test]
+    fn remanence_board_knob_decays_residue_on_logical_ticks() {
+        use zynq_dram::RemanenceModel;
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests()
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 2 }),
+        );
+        k.set_remanence_seed(42);
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, &[0xEE; 4096]).unwrap();
+        let pa = k
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        k.terminate(pid).unwrap();
+
+        // One logical tick after termination: some bytes already decayed,
+        // most survive.
+        let mut soon = vec![0u8; 4096];
+        k.read_physical_bytes(pa, &mut soon).unwrap();
+        let survivors_soon = soon.iter().filter(|&&b| b != 0).count();
+        assert!(survivors_soon > 2048, "{survivors_soon}");
+        assert!(survivors_soon < 4096, "{survivors_soon}");
+
+        // Many half-lives later the residue is effectively gone — and only
+        // logical ticks moved it there, never wall clock.
+        k.tick(64);
+        let mut late = vec![0u8; 4096];
+        k.read_physical_bytes(pa, &mut late).unwrap();
+        assert!(late.iter().all(|&b| b == 0));
+
+        // The raw store still tracks the frame as (undecayed) residue; decay
+        // is a read view, not a scrub.
+        assert_eq!(k.residue_frame_count(), 1);
+        assert_eq!(k.dram().residue_bytes(), 4096);
+        assert_eq!(k.dram().residue_decay(None).surviving_bytes, 0);
     }
 
     #[test]

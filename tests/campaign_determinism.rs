@@ -164,6 +164,65 @@ fn bank_striped_scrape_matrix_is_worker_count_independent() {
     assert!(pooled.identified_count() < pooled.len());
 }
 
+/// The remanence decay axis is a science knob, but a deterministic one: a
+/// swept matrix (decay models × sanitize × schedules, with the chunked
+/// live-traffic scrape ticking the decay clock mid-read) is byte-identical
+/// between 1 and 4 pool workers and across repeated runs, the perfect cells
+/// flip zero bits, and the decaying cells flip a reproducible number.
+#[test]
+fn remanence_axis_is_worker_count_independent() {
+    use fpga_msa::dram::RemanenceModel;
+    let spec = CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+        .with_models(vec![ModelKind::SqueezeNet])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::ZeroOnFree])
+        .with_remanence_models(vec![
+            RemanenceModel::Perfect,
+            RemanenceModel::Exponential { half_life_ticks: 2 },
+            RemanenceModel::BitFlip { rate_ppm: 200_000 },
+        ])
+        .with_schedules(vec![
+            VictimSchedule::Single,
+            VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            },
+            VictimSchedule::LiveTraffic {
+                tenants: 1,
+                churn_rate: 1,
+            },
+        ])
+        .with_seed(0xDECA);
+    assert_eq!(spec.cell_count(), 18);
+
+    let serial = spec.run_with_workers(1).unwrap();
+    let parallel = spec.run_with_workers(4).unwrap();
+    let replay = spec.run_with_workers(4).unwrap();
+    assert_eq!(deterministic_view(&serial), deterministic_view(&parallel));
+    assert_eq!(deterministic_view(&parallel), deterministic_view(&replay));
+
+    // The matrix is not degenerate: perfect cells flip nothing, decaying
+    // unsanitized cells flip real residue bits.
+    let by_remanence = parallel.group_by(|r| r.cell.remanence.to_string());
+    assert_eq!(by_remanence.len(), 3);
+    assert_eq!(by_remanence["perfect"].residue_bits_flipped, 0);
+    assert_eq!(by_remanence["perfect"].mean_decayed_recovery, 1.0);
+    assert!(by_remanence["exponential(hl=2)"].residue_bits_flipped > 0);
+    assert!(by_remanence["exponential(hl=2)"].mean_decayed_recovery < 1.0);
+    assert!(by_remanence["bitflip(200000ppm)"].residue_bits_flipped > 0);
+
+    // Zero-on-free leaves no residue, so there is nothing to decay: the
+    // fidelity metrics collapse to "nothing lost" under every model.
+    for record in parallel.cells() {
+        if record.cell.sanitize == SanitizePolicy::ZeroOnFree {
+            let lifetime = record.metrics.as_ref().unwrap().residue_lifetime;
+            assert_eq!(lifetime.residue_bytes_raw, 0);
+            assert_eq!(lifetime.residue_bits_flipped, 0);
+            assert_eq!(lifetime.decayed_recovery_rate(), 1.0);
+        }
+    }
+}
+
 /// Live-traffic churn interleaving is pinned to the cell seed: replaying the
 /// same spec reproduces the same churn sequence, loss counts and recovery —
 /// across worker counts and repeated runs — while a different campaign seed
