@@ -1,14 +1,15 @@
 //! Campaign-engine benchmarks: what the worker pool buys.
 //!
 //! Measures the same scenario matrix executed serially (1 worker) and on a
-//! multi-worker pool, plus the cost of matrix expansion itself — the
-//! scheduling overhead a campaign adds on top of its cells.
+//! multi-worker pool, the cost of matrix expansion itself — the scheduling
+//! overhead a campaign adds on top of its cells — and the streaming engine's
+//! raw fold throughput over a synthetic fleet matrix.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use msa_bench::bench_board;
-use msa_core::campaign::{CampaignSpec, InputKind};
+use msa_core::campaign::{CampaignSpec, InputKind, StreamConfig};
 use msa_core::ScrapeMode;
 use vitis_ai_sim::ModelKind;
 use zynq_dram::SanitizePolicy;
@@ -51,6 +52,40 @@ fn bench_campaigns(c: &mut Criterion) {
     group.bench_function("matrix_8_cells/bank_striped_x4", |b| {
         b.iter(|| black_box(striped.run_with_workers(1).unwrap().completed_count()))
     });
+
+    // Streaming engine overhead, isolated from scenario cost: a synthetic
+    // executor makes every cell near-free, so this measures claim/fold/
+    // reorder throughput — the ceiling a million-cell fleet campaign folds
+    // at.
+    let fleet = CampaignSpec::over_boards(
+        (0..8)
+            .map(|i| (format!("fleet-{i}"), bench_board()))
+            .collect(),
+    )
+    .with_models(ModelKind::all().to_vec())
+    .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+    .with_sanitize_policies(SanitizePolicy::all_basic().to_vec())
+    .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+    .with_seed(1391);
+    group.throughput(Throughput::Elements(fleet.cell_count() as u64));
+    for workers in [1usize, 4] {
+        group.bench_function(
+            format!("stream_synthetic_1280_cells/{workers}_workers"),
+            |b| {
+                b.iter(|| {
+                    let summary = fleet
+                        .stream_with_executor(
+                            StreamConfig::default().with_workers(workers),
+                            |cell| Ok(cell.synthetic_record()),
+                            |_| Ok(()),
+                            |_| {},
+                        )
+                        .unwrap();
+                    black_box(summary.totals.completed)
+                })
+            },
+        );
+    }
 
     group.throughput(Throughput::Elements(1));
     group.bench_function("expand_1024_cells", |b| {

@@ -39,9 +39,14 @@
 //! # }
 //! ```
 
+pub mod stream;
+
+pub use stream::{
+    Adversary, AxisGroups, CampaignAccumulator, CampaignSummary, GroupProgress, GroupSummary,
+    StreamConfig,
+};
+
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use petalinux_sim::{BoardConfig, IsolationPolicy};
@@ -141,6 +146,32 @@ impl CampaignCell {
             label.push_str(&self.remanence.to_string());
         }
         label
+    }
+
+    /// Produces a deterministic synthetic [`CellRecord`] derived purely
+    /// from the cell's seed — no scenario executes.
+    ///
+    /// This is the executor the scale and property suites plug into
+    /// [`CampaignSpec::stream_with_executor`]: it costs microseconds per
+    /// cell, so million-cell matrices exercise the scheduling and folding
+    /// machinery in test time.  Roughly one cell in seven reports as
+    /// blocked (seed-derived), so both fold paths stay covered.
+    pub fn synthetic_record(&self) -> CellRecord {
+        let blocked = self.seed.is_multiple_of(7);
+        let metrics = (!blocked).then(|| ScenarioMetrics::synthetic(self.seed));
+        CellRecord {
+            cell: self.clone(),
+            result: if blocked {
+                ScenarioResult::Blocked {
+                    step: "synthetic".into(),
+                }
+            } else {
+                ScenarioResult::Completed
+            },
+            metrics,
+            timings: None,
+            elapsed: Duration::ZERO,
+        }
     }
 
     /// Builds the [`AttackScenario`] this cell describes, attaching the
@@ -362,62 +393,87 @@ impl CampaignSpec {
     }
 
     /// Expands the matrix into cells, in the documented deterministic order.
+    ///
+    /// This materializes the whole matrix at once; fleet-scale callers
+    /// should prefer the lazy [`CampaignSpec::cells`] walk (the streaming
+    /// engine never calls `expand`).
     pub fn expand(&self) -> Vec<CampaignCell> {
-        let mut cells = Vec::with_capacity(self.cell_count());
-        for (board_index, (board_name, base_board)) in self.boards.iter().enumerate() {
-            for &model in &self.models {
-                for &input in &self.inputs {
-                    for sanitize in optional_axis(&self.sanitize_policies) {
-                        for isolation in optional_axis(&self.isolation_policies) {
-                            for aslr in optional_axis(&self.aslr_modes) {
-                                for order in optional_axis(&self.allocation_orders) {
-                                    for remanence in optional_axis(&self.remanence_models) {
-                                        for &scrape_mode in &self.scrape_modes {
-                                            for &schedule in &self.schedules {
-                                                let mut board = *base_board;
-                                                if let Some(p) = sanitize {
-                                                    board = board.with_sanitize_policy(p);
-                                                }
-                                                if let Some(p) = isolation {
-                                                    board = board.with_isolation(p);
-                                                }
-                                                if let Some(m) = aslr {
-                                                    board = board.with_aslr(m);
-                                                }
-                                                if let Some(o) = order {
-                                                    board = board.with_allocation_order(o);
-                                                }
-                                                if let Some(r) = remanence {
-                                                    board = board.with_remanence(r);
-                                                }
-                                                let index = cells.len();
-                                                cells.push(CampaignCell {
-                                                    index,
-                                                    board_index,
-                                                    board_name: board_name.clone(),
-                                                    board,
-                                                    model,
-                                                    input,
-                                                    sanitize: board.sanitize_policy(),
-                                                    isolation: board.isolation(),
-                                                    aslr: board.aslr(),
-                                                    allocation_order: board.allocation_order(),
-                                                    remanence: board.remanence(),
-                                                    scrape_mode,
-                                                    schedule,
-                                                    seed: mix_seed(self.seed, index as u64),
-                                                });
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        self.cells().collect()
+    }
+
+    /// Lazily walks the axis cross-product in the documented deterministic
+    /// order without allocating the matrix: each `next()` call materializes
+    /// exactly one seeded [`CampaignCell`].
+    ///
+    /// `spec.cells().collect::<Vec<_>>()` equals `spec.expand()` cell for
+    /// cell; the iterator is exact-size and double-ended.
+    pub fn cells(&self) -> Cells<'_> {
+        Cells {
+            spec: self,
+            next: 0,
+            end: self.cell_count(),
         }
-        cells
+    }
+
+    /// Materializes the single cell at `index` of the deterministic
+    /// expansion order, in O(axes) time (a mixed-radix decode of `index` —
+    /// no part of the matrix is allocated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cell_count()`.
+    pub fn cell_at(&self, index: usize) -> CampaignCell {
+        assert!(
+            index < self.cell_count(),
+            "cell index {index} out of range for a {}-cell campaign",
+            self.cell_count()
+        );
+        // Decode the fastest-varying axis first — the reverse of the
+        // documented slowest-first expansion order.
+        let mut rem = index;
+        let schedule = self.schedules[axis_index(self.schedules.len(), &mut rem)];
+        let scrape_mode = self.scrape_modes[axis_index(self.scrape_modes.len(), &mut rem)];
+        let remanence = optional_pick(&self.remanence_models, &mut rem);
+        let order = optional_pick(&self.allocation_orders, &mut rem);
+        let aslr = optional_pick(&self.aslr_modes, &mut rem);
+        let isolation = optional_pick(&self.isolation_policies, &mut rem);
+        let sanitize = optional_pick(&self.sanitize_policies, &mut rem);
+        let input = self.inputs[axis_index(self.inputs.len(), &mut rem)];
+        let model = self.models[axis_index(self.models.len(), &mut rem)];
+        let board_index = rem;
+        let (board_name, base_board) = &self.boards[board_index];
+        let mut board = *base_board;
+        if let Some(p) = sanitize {
+            board = board.with_sanitize_policy(p);
+        }
+        if let Some(p) = isolation {
+            board = board.with_isolation(p);
+        }
+        if let Some(m) = aslr {
+            board = board.with_aslr(m);
+        }
+        if let Some(o) = order {
+            board = board.with_allocation_order(o);
+        }
+        if let Some(r) = remanence {
+            board = board.with_remanence(r);
+        }
+        CampaignCell {
+            index,
+            board_index,
+            board_name: board_name.clone(),
+            board,
+            model,
+            input,
+            sanitize: board.sanitize_policy(),
+            isolation: board.isolation(),
+            aslr: board.aslr(),
+            allocation_order: board.allocation_order(),
+            remanence: board.remanence(),
+            scrape_mode,
+            schedule,
+            seed: mix_seed(self.seed, index as u64),
+        }
     }
 
     /// Runs the campaign on the default worker count (the configured
@@ -439,8 +495,9 @@ impl CampaignSpec {
 
     /// Runs the campaign on exactly `workers` pool threads.
     ///
-    /// Cells are pulled from a shared queue; results land in their cell's
-    /// slot, so the report content does not depend on `workers`.
+    /// This is a thin batch wrapper over the streaming engine: the visitor
+    /// collects every [`CellRecord`] into the report.  Records arrive in
+    /// cell-index order, so the report content does not depend on `workers`.
     ///
     /// # Errors
     ///
@@ -448,13 +505,76 @@ impl CampaignSpec {
     /// cells (e.g. an empty board axis from [`CampaignSpec::over_boards`]),
     /// otherwise the first (lowest cell index) hard error.
     pub fn run_with_workers(&self, workers: usize) -> Result<CampaignReport, AttackError> {
-        let started = Instant::now();
-        let cells = self.expand();
-        if cells.is_empty() {
-            return Err(AttackError::EmptyCampaign);
-        }
-        let workers = workers.clamp(1, cells.len());
+        let mut records = Vec::with_capacity(self.cell_count());
+        let summary =
+            self.stream_cells(StreamConfig::default().with_workers(workers), |record| {
+                records.push(record);
+                Ok(())
+            })?;
+        Ok(CampaignReport {
+            cells: records,
+            workers: summary.workers,
+            total_elapsed: summary.total_elapsed,
+        })
+    }
 
+    /// Streams the campaign under `config`, folding per-cell metrics into a
+    /// [`CampaignSummary`] as cells complete — peak memory is bounded by the
+    /// in-flight window (O(workers) cells), never by the matrix size.
+    ///
+    /// The fold is normalized to cell-index order, so the summary's
+    /// deterministic surface ([`CampaignSummary::deterministic_json`]) is
+    /// byte-identical regardless of worker count or completion order.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::EmptyCampaign`] for a zero-cell spec, otherwise the
+    /// first (lowest cell index) hard error.
+    pub fn stream(&self, config: StreamConfig) -> Result<CampaignSummary, AttackError> {
+        self.stream_observed(config, |_| Ok(()), |_| {})
+    }
+
+    /// Streams the campaign, invoking `progress` after each folded cell
+    /// group (in group order) — the hook behind `--stream` NDJSON output.
+    pub fn stream_with_progress<P>(
+        &self,
+        config: StreamConfig,
+        progress: P,
+    ) -> Result<CampaignSummary, AttackError>
+    where
+        P: FnMut(&GroupProgress),
+    {
+        self.stream_observed(config, |_| Ok(()), progress)
+    }
+
+    /// Streams the campaign, handing every [`CellRecord`] to `visit` in
+    /// strict cell-index order without retaining it — the constant-memory
+    /// replacement for `run()?.cells()` iteration.
+    ///
+    /// A `visit` error aborts the stream and is returned as-is.
+    pub fn stream_cells<V>(
+        &self,
+        config: StreamConfig,
+        visit: V,
+    ) -> Result<CampaignSummary, AttackError>
+    where
+        V: FnMut(CellRecord) -> Result<(), AttackError>,
+    {
+        self.stream_observed(config, visit, |_| {})
+    }
+
+    /// Streams the campaign with both a per-cell visitor and a per-group
+    /// progress hook (each called in deterministic order).
+    pub fn stream_observed<V, P>(
+        &self,
+        config: StreamConfig,
+        visit: V,
+        progress: P,
+    ) -> Result<CampaignSummary, AttackError>
+    where
+        V: FnMut(CellRecord) -> Result<(), AttackError>,
+        P: FnMut(&GroupProgress),
+    {
         // One offline profiling pass per board axis entry, shared by every
         // cell on that board.  Profiling replays the board preset on the
         // attacker's own (permissive, pre-defense) hardware.
@@ -465,45 +585,86 @@ impl CampaignSpec {
                 Profiler::new(board.with_isolation(IsolationPolicy::Permissive)).profile_all()
             })
             .collect();
+        let executor =
+            |cell: &CampaignCell| run_cell(cell, &profiles[cell.board_index], &self.attack_config);
+        stream::run(self, &config, &executor, visit, progress)
+    }
 
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<CellRecord, AttackError>>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
-                    let db = &profiles[cell.board_index];
-                    let record = run_cell(cell, db, &self.attack_config);
-                    *slots[i].lock().expect("cell slot poisoned") = Some(record);
-                });
-            }
-        });
-
-        let mut records = Vec::with_capacity(cells.len());
-        for slot in slots {
-            let record = slot
-                .into_inner()
-                .expect("cell slot poisoned")
-                .expect("every queued cell was run");
-            records.push(record?);
-        }
-        Ok(CampaignReport {
-            cells: records,
-            workers,
-            total_elapsed: started.elapsed(),
-        })
+    /// Streams the campaign through a caller-supplied cell executor instead
+    /// of the real scenario pipeline.
+    ///
+    /// This is the engine's test seam: the determinism, property and scale
+    /// suites drive million-cell matrices through synthetic executors
+    /// ([`CampaignCell::synthetic_record`]) that cost microseconds per cell,
+    /// exercising the scheduling/folding machinery without the scenario
+    /// cost.
+    pub fn stream_with_executor<E, V, P>(
+        &self,
+        config: StreamConfig,
+        executor: E,
+        visit: V,
+        progress: P,
+    ) -> Result<CampaignSummary, AttackError>
+    where
+        E: Fn(&CampaignCell) -> Result<CellRecord, AttackError> + Sync,
+        V: FnMut(CellRecord) -> Result<(), AttackError>,
+        P: FnMut(&GroupProgress),
+    {
+        stream::run(self, &config, &executor, visit, progress)
     }
 }
 
-/// Iterates an optional override axis: absent → one `None` (inherit the
-/// board's own setting), present → each value as `Some`.
-fn optional_axis<T: Copy>(axis: &Option<Vec<T>>) -> Vec<Option<T>> {
-    match axis {
-        None => vec![None],
-        Some(values) => values.iter().copied().map(Some).collect(),
+/// Decodes the next mixed-radix digit of a cell index: the in-axis position
+/// for an axis of `len` values, consuming it from `rem`.
+fn axis_index(len: usize, rem: &mut usize) -> usize {
+    let i = *rem % len;
+    *rem /= len;
+    i
+}
+
+/// Decodes an optional override axis digit: absent → `None` (inherit the
+/// board's own setting, zero index digits), present → the selected value.
+fn optional_pick<T: Copy>(axis: &Option<Vec<T>>, rem: &mut usize) -> Option<T> {
+    axis.as_ref()
+        .map(|values| values[axis_index(values.len(), rem)])
+}
+
+/// Lazy iterator over a spec's cells in deterministic expansion order — see
+/// [`CampaignSpec::cells`].
+#[derive(Debug, Clone)]
+pub struct Cells<'a> {
+    spec: &'a CampaignSpec,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for Cells<'_> {
+    type Item = CampaignCell;
+
+    fn next(&mut self) -> Option<CampaignCell> {
+        if self.next >= self.end {
+            return None;
+        }
+        let cell = self.spec.cell_at(self.next);
+        self.next += 1;
+        Some(cell)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.end - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Cells<'_> {}
+
+impl DoubleEndedIterator for Cells<'_> {
+    fn next_back(&mut self) -> Option<CampaignCell> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        Some(self.spec.cell_at(self.end))
     }
 }
 
@@ -617,15 +778,25 @@ pub struct GroupStats {
     /// ([`crate::scenario::ResidueLifetime::decayed_recovery_rate`]) across
     /// the group's **completed** cells (1.0 under the perfect model).
     pub mean_decayed_recovery: f64,
+    /// Sum of squared deviations (Welford/Chan M2) of pixel recovery across
+    /// the group's completed cells — `pixel_recovery_variance()` reads it.
+    pub pixel_recovery_m2: f64,
 }
 
 impl GroupStats {
-    fn absorb(&mut self, record: &CellRecord) {
-        // The mean fields hold running sums until `finalize`.
+    /// Folds one cell record into the running aggregates.
+    ///
+    /// Means are maintained incrementally (Welford's algorithm), so the
+    /// struct is always in its final form — there is no separate
+    /// finalization pass, and a group can be read mid-stream.
+    pub fn absorb(&mut self, record: &CellRecord) {
         self.cells += 1;
         if record.completed() {
             self.completed += 1;
-            self.mean_pixel_recovery += record.pixel_recovery();
+            let recovery = record.pixel_recovery();
+            let delta = recovery - self.mean_pixel_recovery;
+            self.mean_pixel_recovery += delta / self.completed as f64;
+            self.pixel_recovery_m2 += delta * (recovery - self.mean_pixel_recovery);
         } else {
             self.blocked += 1;
         }
@@ -638,21 +809,59 @@ impl GroupStats {
             self.residue_frames_lost += lifetime.frames_lost_before_scrape;
             self.revival_inherited_frames += lifetime.revival_inherited_frames;
             self.residue_bits_flipped += lifetime.residue_bits_flipped;
-            self.mean_decayed_recovery += lifetime.decayed_recovery_rate();
+            // Metrics exist exactly for completed cells, so `completed` is
+            // this mean's sample count.
+            let delta = lifetime.decayed_recovery_rate() - self.mean_decayed_recovery;
+            self.mean_decayed_recovery += delta / self.completed as f64;
             if matches!(record.cell.schedule, VictimSchedule::Revival { .. }) {
                 self.revival_cells += 1;
-                self.mean_revival_inheritance += lifetime.inheritance_rate();
+                let delta = lifetime.inheritance_rate() - self.mean_revival_inheritance;
+                self.mean_revival_inheritance += delta / self.revival_cells as f64;
             }
         }
     }
 
-    fn finalize(&mut self) {
-        if self.completed > 0 {
-            self.mean_pixel_recovery /= self.completed as f64;
-            self.mean_decayed_recovery /= self.completed as f64;
+    /// Merges another group into this one with count-weighted mean/variance
+    /// combination (Chan et al.'s parallel form), so partial aggregates can
+    /// be folded in any tree shape without magnitude-dependent drift — the
+    /// naive `(mean_a + mean_b) / 2` midpoint is wrong whenever the sides
+    /// hold different cell counts.
+    pub fn merge(&mut self, other: &GroupStats) {
+        if other.completed > 0 {
+            let n_self = self.completed as f64;
+            let n_other = other.completed as f64;
+            let n = n_self + n_other;
+            let delta = other.mean_pixel_recovery - self.mean_pixel_recovery;
+            self.mean_pixel_recovery += delta * n_other / n;
+            self.pixel_recovery_m2 +=
+                other.pixel_recovery_m2 + delta * delta * n_self * n_other / n;
+            let delta = other.mean_decayed_recovery - self.mean_decayed_recovery;
+            self.mean_decayed_recovery += delta * n_other / n;
         }
-        if self.revival_cells > 0 {
-            self.mean_revival_inheritance /= self.revival_cells as f64;
+        if other.revival_cells > 0 {
+            let n_self = self.revival_cells as f64;
+            let n_other = other.revival_cells as f64;
+            let delta = other.mean_revival_inheritance - self.mean_revival_inheritance;
+            self.mean_revival_inheritance += delta * n_other / (n_self + n_other);
+        }
+        self.cells += other.cells;
+        self.completed += other.completed;
+        self.blocked += other.blocked;
+        self.identified += other.identified;
+        self.revival_cells += other.revival_cells;
+        self.residue_frames += other.residue_frames;
+        self.residue_frames_lost += other.residue_frames_lost;
+        self.revival_inherited_frames += other.revival_inherited_frames;
+        self.residue_bits_flipped += other.residue_bits_flipped;
+    }
+
+    /// Population variance of pixel recovery across the group's completed
+    /// cells (0.0 with fewer than two samples).
+    pub fn pixel_recovery_variance(&self) -> f64 {
+        if self.completed < 2 {
+            0.0
+        } else {
+            self.pixel_recovery_m2 / self.completed as f64
         }
     }
 
@@ -759,10 +968,19 @@ impl CampaignReport {
         for record in &self.cells {
             groups.entry(key(record)).or_default().absorb(record);
         }
-        for stats in groups.values_mut() {
-            stats.finalize();
-        }
         groups
+    }
+
+    /// Re-derives the streaming [`CampaignSummary`] from the batch records,
+    /// folding with the same [`CampaignAccumulator`] in the same cell order
+    /// — so batch and streaming runs of one spec agree field for field on
+    /// the deterministic surface.
+    pub fn summary(&self) -> CampaignSummary {
+        let mut accumulator = CampaignAccumulator::new();
+        for record in &self.cells {
+            accumulator.absorb(record);
+        }
+        accumulator.into_summary(self.workers, 0, self.len(), self.total_elapsed, Vec::new())
     }
 
     /// Wall-clock statistics of the run.
@@ -1055,17 +1273,74 @@ mod tests {
         ));
         stats.absorb(&synthetic_record(2, VictimSchedule::Single, None, None));
         stats.absorb(&synthetic_record(3, VictimSchedule::Single, None, None));
-        stats.finalize();
         assert_eq!(stats.cells, 4);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.blocked, 2);
         assert_eq!(stats.mean_pixel_recovery, 0.75);
+        // Samples 1.0 and 0.5 → population variance 0.0625.
+        assert_eq!(stats.pixel_recovery_variance(), 0.0625);
 
         // A fully blocked group has no recovery mean to report.
         let mut blocked = GroupStats::default();
         blocked.absorb(&synthetic_record(0, VictimSchedule::Single, None, None));
-        blocked.finalize();
         assert_eq!(blocked.mean_pixel_recovery, 0.0);
+        assert_eq!(blocked.pixel_recovery_variance(), 0.0);
+    }
+
+    #[test]
+    fn group_stats_merge_is_count_weighted_even_across_magnitude_spreads() {
+        // Satellite regression pin: merging partial aggregates must weight
+        // by sample count (Chan et al.), not average the means.  One side
+        // holds 1000 near-zero samples, the other a single huge outlier —
+        // the midpoint formula would report ~0.5 * 1e6.
+        let completed = |index: usize, recovery: f64| {
+            synthetic_record(index, VictimSchedule::Single, Some(recovery), None)
+        };
+        let mut small = GroupStats::default();
+        for index in 0..1000 {
+            small.absorb(&completed(index, 1e-6));
+        }
+        let mut outlier = GroupStats::default();
+        outlier.absorb(&completed(1000, 1e6));
+
+        let mut serial = GroupStats::default();
+        for index in 0..1000 {
+            serial.absorb(&completed(index, 1e-6));
+        }
+        serial.absorb(&completed(1000, 1e6));
+
+        let mut merged = small;
+        merged.merge(&outlier);
+        assert_eq!(merged.cells, serial.cells);
+        assert_eq!(merged.completed, serial.completed);
+        let expected_mean = (1000.0 * 1e-6 + 1e6) / 1001.0;
+        assert!((merged.mean_pixel_recovery - expected_mean).abs() / expected_mean < 1e-12);
+        assert!(
+            (merged.mean_pixel_recovery - serial.mean_pixel_recovery).abs() / expected_mean < 1e-12
+        );
+        assert!(
+            (merged.pixel_recovery_variance() - serial.pixel_recovery_variance()).abs()
+                / serial.pixel_recovery_variance()
+                < 1e-9
+        );
+
+        // Merge direction must not matter beyond float associativity: the
+        // outlier-first fold lands on the same count-weighted mean.
+        let mut reversed = outlier;
+        reversed.merge(&small);
+        assert!(
+            (reversed.mean_pixel_recovery - merged.mean_pixel_recovery).abs() / expected_mean
+                < 1e-12
+        );
+
+        // Merging an empty group is the identity.
+        let before = merged;
+        merged.merge(&GroupStats::default());
+        assert_eq!(merged, before);
+        let mut empty = GroupStats::default();
+        empty.merge(&before);
+        assert_eq!(empty.mean_pixel_recovery, before.mean_pixel_recovery);
+        assert_eq!(empty.cells, before.cells);
     }
 
     #[test]
@@ -1086,7 +1361,6 @@ mod tests {
                 None,
             ));
         }
-        stats.finalize();
         assert_eq!(stats.revival_cells, 1);
         assert_eq!(stats.mean_revival_inheritance, 0.5);
         assert_eq!(stats.revival_inherited_frames, 5);
@@ -1099,7 +1373,6 @@ mod tests {
             Some(1.0),
             None,
         ));
-        none.finalize();
         assert_eq!(none.revival_cells, 0);
         assert_eq!(none.mean_revival_inheritance, 0.0);
     }

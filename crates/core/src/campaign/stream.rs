@@ -1,0 +1,824 @@
+//! The streaming campaign engine.
+//!
+//! [`super::CampaignSpec::expand`] materializes a matrix; this module runs
+//! one without ever holding it.  Cells are generated lazily
+//! ([`super::CampaignSpec::cell_at`]) in fixed-size **blocks**, executed by
+//! a pool of claim-on-demand workers, and folded into running aggregates by
+//! a single collector that consumes blocks in strict block-index order — a
+//! reorder buffer decouples completion order from fold order, so the
+//! deterministic surface of a [`CampaignSummary`] is byte-identical
+//! regardless of worker count or scheduling.
+//!
+//! Memory is bounded by the in-flight window, not the matrix: a worker may
+//! not claim a new block while `max_ready_blocks` completed blocks await
+//! folding (backpressure), so peak resident cells is
+//! O(workers + max_ready_blocks) · block size — a 1,000,000-cell campaign
+//! streams through a few thousand resident cells.
+//!
+//! For tests, [`Adversary`] deliberately withholds completed blocks and
+//! releases them in reverse or shuffled order, proving the reorder buffer
+//! (not scheduling luck) is what makes results order-independent.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::AttackError;
+use crate::report::{json_array, JsonObject};
+use crate::scenario::splitmix64;
+
+use super::{CampaignCell, CampaignSpec, CellRecord, GroupStats};
+
+/// Execution knobs of the streaming engine — all optional; the defaults
+/// resolve from the spec (`--jobs` cap) and the matrix size.
+#[derive(Debug, Clone, Default)]
+pub struct StreamConfig {
+    workers: Option<usize>,
+    block_size: Option<usize>,
+    max_ready_blocks: Option<usize>,
+    adversary: Option<Adversary>,
+}
+
+impl StreamConfig {
+    /// Starts from the all-default configuration.
+    pub fn new() -> Self {
+        StreamConfig::default()
+    }
+
+    /// Pins the worker count (otherwise the spec's `--jobs` cap, else the
+    /// machine's available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Pins the cells-per-block claim granularity.
+    ///
+    /// The default is derived from the matrix size alone (never from the
+    /// worker count), so progress output is identical across `--jobs`
+    /// settings.
+    pub fn with_block_size(mut self, cells: usize) -> Self {
+        self.block_size = Some(cells.max(1));
+        self
+    }
+
+    /// Pins the backpressure window: workers stop claiming new blocks while
+    /// this many completed blocks await folding (default: workers + 2).
+    pub fn with_max_ready_blocks(mut self, blocks: usize) -> Self {
+        self.max_ready_blocks = Some(blocks.max(1));
+        self
+    }
+
+    /// Installs an adversarial completion-order scheduler (test hook).
+    ///
+    /// Backpressure is disabled under an adversary — every block is held
+    /// back until the pool drains, so resident cells grow to the full
+    /// matrix.  Strictly for determinism tests on small matrices.
+    pub fn with_adversary(mut self, adversary: Adversary) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+}
+
+/// Adversarial completion-order schedules for the determinism suite: blocks
+/// are executed normally but withheld from the collector until the whole
+/// pool drains, then released in a hostile order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adversary {
+    /// Releases completed blocks in reverse completion order (the collector
+    /// sees the last block first).
+    ReverseCompletion,
+    /// Releases completed blocks in a seed-determined shuffled order.
+    ShuffledCompletion {
+        /// Seed of the release-order shuffle.
+        seed: u64,
+    },
+}
+
+/// Progress snapshot handed to the progress hook after each folded cell
+/// group (block), in group order.
+///
+/// Everything except `resident_cells` and `elapsed` is deterministic for a
+/// fixed spec; those two are scheduling/wall-clock artifacts and are masked
+/// by the golden tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupProgress {
+    /// Index of the group (block) just folded.
+    pub block: usize,
+    /// Cell index of the group's first cell.
+    pub first_cell: usize,
+    /// Cells in this group.
+    pub cells: usize,
+    /// Cells folded so far, this group included.
+    pub folded_cells: usize,
+    /// Total cells in the campaign.
+    pub cells_total: usize,
+    /// Completed cells so far.
+    pub completed: usize,
+    /// Blocked cells so far.
+    pub blocked: usize,
+    /// Cells that identified the victim model so far.
+    pub identified: usize,
+    /// Running mean pixel recovery over completed cells.
+    pub mean_pixel_recovery: f64,
+    /// Cells currently resident (claimed or awaiting fold).
+    pub resident_cells: usize,
+    /// Wall clock since the stream started.
+    pub elapsed: Duration,
+}
+
+impl GroupProgress {
+    /// Renders the snapshot as one NDJSON line (no trailing newline) — the
+    /// `experiments --campaign --stream` progress format.
+    pub fn to_ndjson(&self) -> String {
+        JsonObject::new()
+            .str("event", "group")
+            .u64("block", self.block as u64)
+            .u64("first_cell", self.first_cell as u64)
+            .u64("cells", self.cells as u64)
+            .u64("folded_cells", self.folded_cells as u64)
+            .u64("cells_total", self.cells_total as u64)
+            .u64("completed", self.completed as u64)
+            .u64("blocked", self.blocked as u64)
+            .u64("identified", self.identified as u64)
+            .f64("mean_pixel_recovery", self.mean_pixel_recovery)
+            .u64("resident_cells", self.resident_cells as u64)
+            .u64("elapsed_ms", self.elapsed.as_millis() as u64)
+            .finish()
+    }
+}
+
+/// Wall-clock record of one folded cell group, kept for the bench report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSummary {
+    /// Group (block) index.
+    pub block: usize,
+    /// Cell index of the group's first cell.
+    pub first_cell: usize,
+    /// Cells in the group.
+    pub cells: usize,
+    /// Wall clock the executing worker spent on the group.
+    pub wall_clock: Duration,
+}
+
+impl GroupSummary {
+    fn to_json(self) -> String {
+        JsonObject::new()
+            .u64("block", self.block as u64)
+            .u64("first_cell", self.first_cell as u64)
+            .u64("cells", self.cells as u64)
+            .u64("wall_clock_ms", self.wall_clock.as_millis() as u64)
+            .finish()
+    }
+}
+
+/// Per-axis aggregates of a streamed campaign, keyed by each axis value's
+/// display form (boards by their axis name — two boards sharing a name fold
+/// into one group).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AxisGroups {
+    /// Aggregates keyed by board name.
+    pub by_board: BTreeMap<String, GroupStats>,
+    /// Aggregates keyed by victim model.
+    pub by_model: BTreeMap<String, GroupStats>,
+    /// Aggregates keyed by input kind.
+    pub by_input: BTreeMap<String, GroupStats>,
+    /// Aggregates keyed by effective sanitize policy.
+    pub by_sanitize: BTreeMap<String, GroupStats>,
+    /// Aggregates keyed by effective isolation policy.
+    pub by_isolation: BTreeMap<String, GroupStats>,
+    /// Aggregates keyed by victim schedule.
+    pub by_schedule: BTreeMap<String, GroupStats>,
+}
+
+fn merge_groups(into: &mut BTreeMap<String, GroupStats>, from: &BTreeMap<String, GroupStats>) {
+    for (key, stats) in from {
+        into.entry(key.clone()).or_default().merge(stats);
+    }
+}
+
+fn groups_json(map: &BTreeMap<String, GroupStats>) -> String {
+    let mut obj = JsonObject::new();
+    for (key, stats) in map {
+        obj = obj.raw(key, &group_stats_json(stats));
+    }
+    obj.finish()
+}
+
+fn group_stats_json(stats: &GroupStats) -> String {
+    JsonObject::new()
+        .u64("cells", stats.cells as u64)
+        .u64("completed", stats.completed as u64)
+        .u64("blocked", stats.blocked as u64)
+        .u64("identified", stats.identified as u64)
+        .f64("mean_pixel_recovery", stats.mean_pixel_recovery)
+        .f64("pixel_recovery_m2", stats.pixel_recovery_m2)
+        .u64("residue_frames", stats.residue_frames as u64)
+        .u64("residue_frames_lost", stats.residue_frames_lost as u64)
+        .u64(
+            "revival_inherited_frames",
+            stats.revival_inherited_frames as u64,
+        )
+        .u64("revival_cells", stats.revival_cells as u64)
+        .f64("mean_revival_inheritance", stats.mean_revival_inheritance)
+        .u64("residue_bits_flipped", stats.residue_bits_flipped)
+        .f64("mean_decayed_recovery", stats.mean_decayed_recovery)
+        .finish()
+}
+
+impl AxisGroups {
+    fn absorb(&mut self, record: &CellRecord) {
+        let cell = &record.cell;
+        self.by_board
+            .entry(cell.board_name.clone())
+            .or_default()
+            .absorb(record);
+        self.by_model
+            .entry(cell.model.to_string())
+            .or_default()
+            .absorb(record);
+        self.by_input
+            .entry(cell.input.to_string())
+            .or_default()
+            .absorb(record);
+        self.by_sanitize
+            .entry(cell.sanitize.to_string())
+            .or_default()
+            .absorb(record);
+        self.by_isolation
+            .entry(cell.isolation.to_string())
+            .or_default()
+            .absorb(record);
+        self.by_schedule
+            .entry(cell.schedule.to_string())
+            .or_default()
+            .absorb(record);
+    }
+
+    /// Merges another partial aggregate into this one, group-wise, with the
+    /// count-weighted [`GroupStats::merge`] combination.
+    pub fn merge(&mut self, other: &AxisGroups) {
+        merge_groups(&mut self.by_board, &other.by_board);
+        merge_groups(&mut self.by_model, &other.by_model);
+        merge_groups(&mut self.by_input, &other.by_input);
+        merge_groups(&mut self.by_sanitize, &other.by_sanitize);
+        merge_groups(&mut self.by_isolation, &other.by_isolation);
+        merge_groups(&mut self.by_schedule, &other.by_schedule);
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw("board", &groups_json(&self.by_board))
+            .raw("model", &groups_json(&self.by_model))
+            .raw("input", &groups_json(&self.by_input))
+            .raw("sanitize", &groups_json(&self.by_sanitize))
+            .raw("isolation", &groups_json(&self.by_isolation))
+            .raw("schedule", &groups_json(&self.by_schedule))
+            .finish()
+    }
+}
+
+/// The incremental fold the streaming collector applies cell by cell —
+/// campaign totals plus per-axis groups, always in final (no separate
+/// finalization) form.
+///
+/// The engine folds in strict cell-index order for bit-identical results;
+/// [`CampaignAccumulator::merge`] additionally supports count-weighted
+/// tree-shaped combination of independently built partials.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignAccumulator {
+    totals: GroupStats,
+    axes: AxisGroups,
+}
+
+impl CampaignAccumulator {
+    /// Starts an empty fold.
+    pub fn new() -> Self {
+        CampaignAccumulator::default()
+    }
+
+    /// Folds one cell record into the totals and every axis group.
+    pub fn absorb(&mut self, record: &CellRecord) {
+        self.totals.absorb(record);
+        self.axes.absorb(record);
+    }
+
+    /// Merges another independently built accumulator into this one
+    /// (Chan-style count-weighted combination; see [`GroupStats::merge`]).
+    pub fn merge(&mut self, other: &CampaignAccumulator) {
+        self.totals.merge(&other.totals);
+        self.axes.merge(&other.axes);
+    }
+
+    /// Campaign-wide totals folded so far.
+    pub fn totals(&self) -> &GroupStats {
+        &self.totals
+    }
+
+    /// Per-axis groups folded so far.
+    pub fn axes(&self) -> &AxisGroups {
+        &self.axes
+    }
+
+    pub(crate) fn into_summary(
+        self,
+        workers: usize,
+        block_size: usize,
+        peak_resident_cells: usize,
+        total_elapsed: Duration,
+        groups: Vec<GroupSummary>,
+    ) -> CampaignSummary {
+        CampaignSummary {
+            cells_total: self.totals.cells,
+            totals: self.totals,
+            axes: self.axes,
+            workers,
+            block_size,
+            peak_resident_cells,
+            total_elapsed,
+            groups,
+        }
+    }
+}
+
+/// The result of a streamed campaign: deterministic aggregates (totals +
+/// per-axis groups) plus the run's wall-clock/bench measurements.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Total cells the campaign folded.
+    pub cells_total: usize,
+    /// Campaign-wide aggregates.
+    pub totals: GroupStats,
+    /// Per-axis aggregates.
+    pub axes: AxisGroups,
+    /// Worker threads the run used (after clamping to the matrix size).
+    pub workers: usize,
+    /// Cells per claim block (0 for summaries re-derived from batch
+    /// reports, which have no block structure).
+    pub block_size: usize,
+    /// Peak cells simultaneously resident (claimed or awaiting fold).
+    pub peak_resident_cells: usize,
+    /// End-to-end wall clock (includes shared profiling).
+    pub total_elapsed: Duration,
+    /// Per-group wall-clock records, in group order.
+    pub groups: Vec<GroupSummary>,
+}
+
+impl CampaignSummary {
+    /// Fold throughput in cells per second (0.0 for a zero-duration run).
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.total_elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.cells_total as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The deterministic comparison surface: totals and per-axis groups as
+    /// canonical JSON, excluding every scheduling/wall-clock artifact
+    /// (workers, block size, residency, durations).
+    ///
+    /// Two runs of one spec must produce byte-identical strings here,
+    /// whatever the worker count or completion order — the determinism
+    /// suite compares these directly.
+    pub fn deterministic_json(&self) -> String {
+        JsonObject::new()
+            .u64("cells_total", self.cells_total as u64)
+            .raw("totals", &group_stats_json(&self.totals))
+            .raw("axes", &self.axes.to_json())
+            .finish()
+    }
+
+    /// Renders the `BENCH_campaign.json` document: the deterministic
+    /// headline counts plus throughput, residency and per-group wall-clock
+    /// — the cross-PR perf trajectory record.
+    pub fn bench_json(&self, name: &str) -> String {
+        JsonObject::new()
+            .str("schema", "msa-bench-campaign-v1")
+            .str("campaign", name)
+            .u64("cells_total", self.cells_total as u64)
+            .u64("completed", self.totals.completed as u64)
+            .u64("blocked", self.totals.blocked as u64)
+            .u64("identified", self.totals.identified as u64)
+            .f64("mean_pixel_recovery", self.totals.mean_pixel_recovery)
+            .u64("workers", self.workers as u64)
+            .u64("block_size", self.block_size as u64)
+            .u64("blocks", self.groups.len() as u64)
+            .u64("peak_resident_cells", self.peak_resident_cells as u64)
+            .u64("elapsed_ms", self.total_elapsed.as_millis() as u64)
+            .f64("cells_per_sec", self.cells_per_sec())
+            .raw(
+                "groups",
+                &json_array(self.groups.iter().map(|group| group.to_json())),
+            )
+            .finish()
+    }
+}
+
+/// Auto block size: a pure function of the matrix size (never the worker
+/// count), so group boundaries — and therefore NDJSON progress output — are
+/// identical across `--jobs` settings.  Targets ~256 groups, clamped so
+/// tiny campaigns still batch a little and huge ones cap per-block memory.
+fn auto_block_size(cells_total: usize) -> usize {
+    cells_total.div_ceil(256).clamp(16, 1024)
+}
+
+/// One executed block parked in the reorder buffer.
+struct Block {
+    index: usize,
+    first_cell: usize,
+    results: Vec<Result<CellRecord, AttackError>>,
+    wall_clock: Duration,
+}
+
+/// Collector/worker shared state, guarded by one mutex + condvar.
+struct Shared {
+    /// Next block index to claim.
+    next_block: usize,
+    /// Completed blocks awaiting in-order folding (the reorder buffer).
+    ready: BTreeMap<usize, Block>,
+    /// Blocks an [`Adversary`] is withholding until the pool drains.
+    stash: Vec<Block>,
+    /// Cells claimed but not yet folded.
+    resident_cells: usize,
+    /// High-water mark of `resident_cells`.
+    peak_resident_cells: usize,
+    /// Workers that have exited their claim loop.
+    done_workers: usize,
+}
+
+/// Runs `spec` through the streaming engine.
+///
+/// `executor` produces each cell's record (real scenario or synthetic),
+/// `visit` receives every record in strict cell-index order, `progress` is
+/// called after each folded group.  See the `stream_*` methods on
+/// [`CampaignSpec`] for the public entry points.
+pub(crate) fn run<E, V, P>(
+    spec: &CampaignSpec,
+    config: &StreamConfig,
+    executor: &E,
+    mut visit: V,
+    mut progress: P,
+) -> Result<CampaignSummary, AttackError>
+where
+    E: Fn(&CampaignCell) -> Result<CellRecord, AttackError> + Sync,
+    V: FnMut(CellRecord) -> Result<(), AttackError>,
+    P: FnMut(&GroupProgress),
+{
+    let started = Instant::now();
+    let cells_total = spec.cell_count();
+    if cells_total == 0 {
+        return Err(AttackError::EmptyCampaign);
+    }
+    let block_size = config
+        .block_size
+        .unwrap_or_else(|| auto_block_size(cells_total));
+    let blocks = cells_total.div_ceil(block_size);
+    let workers = config
+        .workers
+        .or(spec.jobs)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .clamp(1, cells_total);
+    let max_ready = config.max_ready_blocks.unwrap_or(workers + 2).max(1);
+    let adversary = config.adversary;
+
+    let shared = Mutex::new(Shared {
+        next_block: 0,
+        ready: BTreeMap::new(),
+        stash: Vec::new(),
+        resident_cells: 0,
+        peak_resident_cells: 0,
+        done_workers: 0,
+    });
+    let condvar = Condvar::new();
+    let abort = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                loop {
+                    let claim = {
+                        let mut state = shared.lock().expect("stream state poisoned");
+                        loop {
+                            if abort.load(Ordering::Relaxed) || state.next_block >= blocks {
+                                break None;
+                            }
+                            // Backpressure: park instead of outrunning the
+                            // collector (disabled under an adversary, which
+                            // withholds blocks by design).
+                            if adversary.is_none() && state.ready.len() >= max_ready {
+                                state = condvar.wait(state).expect("stream state poisoned");
+                                continue;
+                            }
+                            let index = state.next_block;
+                            state.next_block += 1;
+                            let first_cell = index * block_size;
+                            let cells = block_size.min(cells_total - first_cell);
+                            state.resident_cells += cells;
+                            state.peak_resident_cells =
+                                state.peak_resident_cells.max(state.resident_cells);
+                            break Some((index, first_cell, cells));
+                        }
+                    };
+                    let Some((index, first_cell, cells)) = claim else {
+                        break;
+                    };
+                    let block_started = Instant::now();
+                    let mut results = Vec::with_capacity(cells);
+                    for offset in 0..cells {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let cell = spec.cell_at(first_cell + offset);
+                        results.push(executor(&cell));
+                    }
+                    let block = Block {
+                        index,
+                        first_cell,
+                        results,
+                        wall_clock: block_started.elapsed(),
+                    };
+                    let mut state = shared.lock().expect("stream state poisoned");
+                    if abort.load(Ordering::Relaxed) {
+                        // The collector already gave up on this run; the
+                        // (possibly partial) block is dead weight.
+                        drop(block);
+                    } else if adversary.is_some() {
+                        state.stash.push(block);
+                    } else {
+                        state.ready.insert(index, block);
+                    }
+                    drop(state);
+                    condvar.notify_all();
+                }
+                let mut state = shared.lock().expect("stream state poisoned");
+                state.done_workers += 1;
+                if state.done_workers == workers {
+                    if let Some(adversary) = adversary {
+                        release_stash(&mut state, adversary);
+                    }
+                }
+                drop(state);
+                condvar.notify_all();
+            });
+        }
+
+        // The collector runs on the calling thread: it owns the (non-Sync)
+        // visitor, progress hook and accumulator, and folds blocks in
+        // strict index order — the reorder buffer above absorbs whatever
+        // completion order the pool produces.
+        let mut accumulator = CampaignAccumulator::new();
+        let mut groups: Vec<GroupSummary> = Vec::with_capacity(blocks);
+        let mut folded_cells = 0usize;
+        let mut first_error: Option<AttackError> = None;
+        'collect: for next_fold in 0..blocks {
+            let (block, resident_after) = {
+                let mut state = shared.lock().expect("stream state poisoned");
+                loop {
+                    if let Some(block) = state.ready.remove(&next_fold) {
+                        state.resident_cells -= block.results.len();
+                        let resident = state.resident_cells;
+                        drop(state);
+                        condvar.notify_all();
+                        break (block, resident);
+                    }
+                    assert!(
+                        state.done_workers < workers || !state.stash.is_empty(),
+                        "stream pool drained without producing block {next_fold}"
+                    );
+                    state = condvar.wait(state).expect("stream state poisoned");
+                }
+            };
+            let cells = block.results.len();
+            for result in block.results {
+                match result {
+                    Ok(record) => {
+                        accumulator.absorb(&record);
+                        if let Err(error) = visit(record) {
+                            first_error = Some(error);
+                            break;
+                        }
+                    }
+                    Err(error) => {
+                        first_error = Some(error);
+                        break;
+                    }
+                }
+            }
+            if first_error.is_some() {
+                abort.store(true, Ordering::Relaxed);
+                condvar.notify_all();
+                break 'collect;
+            }
+            folded_cells += cells;
+            let group = GroupSummary {
+                block: block.index,
+                first_cell: block.first_cell,
+                cells,
+                wall_clock: block.wall_clock,
+            };
+            groups.push(group);
+            let totals = *accumulator.totals();
+            progress(&GroupProgress {
+                block: group.block,
+                first_cell: group.first_cell,
+                cells,
+                folded_cells,
+                cells_total,
+                completed: totals.completed,
+                blocked: totals.blocked,
+                identified: totals.identified,
+                mean_pixel_recovery: totals.mean_pixel_recovery,
+                resident_cells: resident_after,
+                elapsed: started.elapsed(),
+            });
+        }
+
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        let peak = shared
+            .lock()
+            .expect("stream state poisoned")
+            .peak_resident_cells;
+        Ok(accumulator.into_summary(workers, block_size, peak, started.elapsed(), groups))
+    })
+}
+
+/// Moves an adversary's withheld blocks into the reorder buffer in the
+/// hostile release order (called by the last worker to exit, under the
+/// state lock).
+fn release_stash(state: &mut Shared, adversary: Adversary) {
+    let mut stash = std::mem::take(&mut state.stash);
+    match adversary {
+        Adversary::ReverseCompletion => stash.reverse(),
+        Adversary::ShuffledCompletion { seed } => {
+            let mut mix = seed;
+            for i in (1..stash.len()).rev() {
+                mix = splitmix64(mix);
+                stash.swap(i, (mix % (i as u64 + 1)) as usize);
+            }
+        }
+    }
+    for block in stash {
+        state.ready.insert(block.index, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CampaignSpec, InputKind};
+    use super::*;
+    use petalinux_sim::BoardConfig;
+    use vitis_ai_sim::ModelKind;
+
+    fn synthetic_spec() -> CampaignSpec {
+        CampaignSpec::new("tiny", BoardConfig::tiny_for_tests())
+            .with_models(vec![ModelKind::SqueezeNet, ModelKind::MobileNetV2])
+            .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+            .with_seed(11)
+    }
+
+    fn stream_synthetic(spec: &CampaignSpec, config: StreamConfig) -> CampaignSummary {
+        spec.stream_with_executor(
+            config,
+            |cell| Ok(cell.synthetic_record()),
+            |_| Ok(()),
+            |_| {},
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_block_size_ignores_worker_count_and_scales_with_cells() {
+        assert_eq!(auto_block_size(1), 16);
+        assert_eq!(auto_block_size(192), 16);
+        assert_eq!(auto_block_size(16_384), 64);
+        assert_eq!(auto_block_size(1_000_000), 1024);
+    }
+
+    #[test]
+    fn streaming_fold_is_identical_across_workers_and_adversaries() {
+        let spec = synthetic_spec();
+        let baseline = stream_synthetic(&spec, StreamConfig::new().with_workers(1));
+        assert_eq!(baseline.cells_total, 4);
+        for config in [
+            StreamConfig::new().with_workers(3).with_block_size(1),
+            StreamConfig::new()
+                .with_workers(2)
+                .with_block_size(1)
+                .with_adversary(Adversary::ReverseCompletion),
+            StreamConfig::new()
+                .with_workers(2)
+                .with_block_size(1)
+                .with_adversary(Adversary::ShuffledCompletion { seed: 5 }),
+        ] {
+            let summary = stream_synthetic(&spec, config);
+            assert_eq!(summary.deterministic_json(), baseline.deterministic_json());
+        }
+    }
+
+    #[test]
+    fn visitor_sees_cells_in_index_order_and_errors_abort_the_stream() {
+        let spec = synthetic_spec();
+        let mut seen = Vec::new();
+        spec.stream_with_executor(
+            StreamConfig::new().with_workers(2).with_block_size(1),
+            |cell| Ok(cell.synthetic_record()),
+            |record| {
+                seen.push(record.cell.index);
+                Ok(())
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+
+        let error = spec
+            .stream_with_executor(
+                StreamConfig::new().with_workers(2).with_block_size(1),
+                |cell| {
+                    if cell.index >= 2 {
+                        Err(AttackError::EmptyCampaign)
+                    } else {
+                        Ok(cell.synthetic_record())
+                    }
+                },
+                |_| Ok(()),
+                |_| {},
+            )
+            .unwrap_err();
+        assert!(matches!(error, AttackError::EmptyCampaign));
+    }
+
+    #[test]
+    fn progress_groups_cover_the_matrix_and_render_ndjson() {
+        let spec = synthetic_spec();
+        let mut lines = Vec::new();
+        let summary = spec
+            .stream_with_executor(
+                StreamConfig::new().with_workers(2).with_block_size(3),
+                |cell| Ok(cell.synthetic_record()),
+                |_| Ok(()),
+                |progress| lines.push(progress.to_ndjson()),
+            )
+            .unwrap();
+        // 4 cells at block size 3 → groups of 3 and 1.
+        assert_eq!(summary.groups.len(), 2);
+        assert_eq!(summary.groups[0].cells, 3);
+        assert_eq!(summary.groups[1].cells, 1);
+        assert_eq!(summary.block_size, 3);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"group\",\"block\":0,"));
+        assert!(lines[1].contains("\"folded_cells\":4,\"cells_total\":4"));
+        let bench = summary.bench_json("synthetic");
+        assert!(
+            bench.starts_with("{\"schema\":\"msa-bench-campaign-v1\",\"campaign\":\"synthetic\",")
+        );
+        assert!(bench.contains("\"cells_per_sec\":"));
+        assert!(bench.contains("\"wall_clock_ms\":"));
+    }
+
+    #[test]
+    fn accumulator_merge_matches_serial_fold() {
+        let spec = synthetic_spec();
+        let records: Vec<CellRecord> = spec.cells().map(|cell| cell.synthetic_record()).collect();
+        let mut serial = CampaignAccumulator::new();
+        for record in &records {
+            serial.absorb(record);
+        }
+        let mut left = CampaignAccumulator::new();
+        let mut right = CampaignAccumulator::new();
+        for record in &records[..2] {
+            left.absorb(record);
+        }
+        for record in &records[2..] {
+            right.absorb(record);
+        }
+        left.merge(&right);
+        assert_eq!(left.totals().cells, serial.totals().cells);
+        assert_eq!(left.totals().completed, serial.totals().completed);
+        assert!(
+            (left.totals().mean_pixel_recovery - serial.totals().mean_pixel_recovery).abs() < 1e-12
+        );
+        assert_eq!(left.axes().by_model.len(), serial.axes().by_model.len());
+    }
+
+    #[test]
+    fn empty_campaign_errors_before_spawning_the_pool() {
+        let spec = CampaignSpec::over_boards(Vec::new());
+        let result = spec.stream_with_executor(
+            StreamConfig::new(),
+            |cell| Ok(cell.synthetic_record()),
+            |_| Ok(()),
+            |_| {},
+        );
+        assert!(matches!(result, Err(AttackError::EmptyCampaign)));
+    }
+}

@@ -9,7 +9,10 @@
 //! Each sweep is a thin [`CampaignSpec`] over the [`crate::campaign`] engine:
 //! the spec declares the axis being swept, the shared worker pool executes
 //! the cells (amortizing offline profiling across the sweep), and the rows
-//! below are projections of the resulting [`CellRecord`]s.
+//! below are projections of the resulting [`CellRecord`]s.  The larger
+//! sweeps project their rows through the streaming visitor
+//! ([`CampaignSpec::stream_cells`]) — records are consumed in cell-index
+//! order as they complete, never held as a batch.
 
 use petalinux_sim::{BoardConfig, IsolationPolicy};
 use serde::{Deserialize, Serialize};
@@ -18,7 +21,7 @@ use zynq_dram::{RemanenceModel, SanitizePolicy};
 use zynq_mmu::{AllocationOrder, AslrMode};
 
 use crate::attack::ScrapeMode;
-use crate::campaign::{CampaignSpec, CellRecord, InputKind};
+use crate::campaign::{CampaignSpec, CellRecord, InputKind, StreamConfig};
 use crate::error::AttackError;
 use crate::scenario::{ScenarioMetrics, ScenarioResult, VictimSchedule};
 
@@ -73,26 +76,24 @@ pub fn evaluate_sanitize_policies(
     board: BoardConfig,
     model: ModelKind,
 ) -> Result<Vec<SanitizeRow>, AttackError> {
-    let report = CampaignSpec::new("sanitize-sweep", board)
+    let mut rows = Vec::new();
+    CampaignSpec::new("sanitize-sweep", board)
         .with_models(vec![model])
         .with_inputs(vec![InputKind::Corrupted])
         .with_sanitize_policies(swept_policies())
-        .run()?;
-    report
-        .cells()
-        .iter()
-        .map(|record| {
-            let metrics = completed_metrics(record)?;
-            Ok(SanitizeRow {
+        .stream_cells(StreamConfig::default(), |record| {
+            let metrics = completed_metrics(&record)?;
+            rows.push(SanitizeRow {
                 policy: record.cell.sanitize,
                 model_identified: metrics.model_identified,
                 pixel_recovery: metrics.pixel_recovery,
                 residue_frames: metrics.residue_frames,
                 scrub_cost_cycles: metrics.scrub_cost_cycles,
                 collateral_bytes: metrics.collateral_bytes,
-            })
-        })
-        .collect()
+            });
+            Ok(())
+        })?;
+    Ok(rows)
 }
 
 /// One row of the isolation-policy ablation.
@@ -173,7 +174,8 @@ pub fn evaluate_layout_randomization(
     board: BoardConfig,
     model: ModelKind,
 ) -> Result<Vec<LayoutRow>, AttackError> {
-    let report = CampaignSpec::new("layout-sweep", board)
+    let mut rows = Vec::new();
+    CampaignSpec::new("layout-sweep", board)
         .with_models(vec![model])
         .with_inputs(vec![InputKind::Corrupted])
         .with_aslr_modes(vec![AslrMode::Disabled, AslrMode::Virtual { seed: 7 }])
@@ -182,21 +184,18 @@ pub fn evaluate_layout_randomization(
             AllocationOrder::Randomized { seed: 0xC0FFEE },
         ])
         .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
-        .run()?;
-    report
-        .cells()
-        .iter()
-        .map(|record| {
-            let metrics = completed_metrics(record)?;
-            Ok(LayoutRow {
+        .stream_cells(StreamConfig::default(), |record| {
+            let metrics = completed_metrics(&record)?;
+            rows.push(LayoutRow {
                 allocation_order: record.cell.allocation_order,
                 aslr: record.cell.aslr,
                 scrape_mode: record.cell.scrape_mode,
                 model_identified: metrics.model_identified,
                 pixel_recovery: metrics.pixel_recovery,
-            })
-        })
-        .collect()
+            });
+            Ok(())
+        })?;
+    Ok(rows)
 }
 
 /// One row of the bank-striping sweep: what the bank-striped attacker
@@ -234,28 +233,26 @@ pub fn evaluate_bank_striping(
     model: ModelKind,
     workers: usize,
 ) -> Result<Vec<BankStripeRow>, AttackError> {
-    let report = CampaignSpec::new("bank-striping-sweep", board)
+    let mut rows = Vec::new();
+    CampaignSpec::new("bank-striping-sweep", board)
         .with_models(vec![model])
         .with_inputs(vec![InputKind::Corrupted])
         .with_scrape_modes(vec![
             ScrapeMode::ContiguousRange,
             ScrapeMode::BankStriped { workers },
         ])
-        .run()?;
-    report
-        .cells()
-        .iter()
-        .map(|record| {
-            let metrics = completed_metrics(record)?;
-            Ok(BankStripeRow {
+        .stream_cells(StreamConfig::default(), |record| {
+            let metrics = completed_metrics(&record)?;
+            rows.push(BankStripeRow {
                 scrape_mode: record.cell.scrape_mode,
                 model_identified: metrics.model_identified,
                 pixel_recovery: metrics.pixel_recovery,
                 bytes_scraped: metrics.bytes_scraped,
                 dump_coverage: metrics.dump_coverage,
-            })
-        })
-        .collect()
+            });
+            Ok(())
+        })?;
+    Ok(rows)
 }
 
 /// One row of the remanence sweep: what the attack still recovers when the
@@ -321,19 +318,16 @@ pub fn evaluate_remanence(
     workers: usize,
 ) -> Result<Vec<RemanenceRow>, AttackError> {
     let sweep = |mode: ScrapeMode| -> Result<Vec<RemanenceRow>, AttackError> {
-        let report = CampaignSpec::new("remanence-sweep", board)
+        let mut rows = Vec::new();
+        CampaignSpec::new("remanence-sweep", board)
             .with_models(vec![model])
             .with_inputs(vec![InputKind::Corrupted])
             .with_remanence_models(swept_remanence_models())
             .with_scrape_modes(vec![mode])
-            .run()?;
-        report
-            .cells()
-            .iter()
-            .map(|record| {
-                let metrics = completed_metrics(record)?;
+            .stream_cells(StreamConfig::default(), |record| {
+                let metrics = completed_metrics(&record)?;
                 let lifetime = metrics.residue_lifetime;
-                Ok(RemanenceRow {
+                rows.push(RemanenceRow {
                     remanence: record.cell.remanence,
                     scrape_mode: record.cell.scrape_mode,
                     model_identified: metrics.model_identified,
@@ -342,9 +336,10 @@ pub fn evaluate_remanence(
                     residue_bytes_decayed: lifetime.residue_bytes_decayed,
                     residue_bits_flipped: lifetime.residue_bits_flipped,
                     decayed_recovery: lifetime.decayed_recovery_rate(),
-                })
-            })
-            .collect()
+                });
+                Ok(())
+            })?;
+        Ok(rows)
     };
     let contiguous = sweep(ScrapeMode::ContiguousRange)?;
     let striped = sweep(ScrapeMode::BankStriped { workers })?;

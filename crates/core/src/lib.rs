@@ -67,7 +67,10 @@ pub mod signature;
 pub mod translate;
 
 pub use attack::{AttackConfig, AttackPipeline, ScrapeMode};
-pub use campaign::{CampaignCell, CampaignReport, CampaignSpec, CellRecord, InputKind};
+pub use campaign::{
+    Adversary, CampaignCell, CampaignReport, CampaignSpec, CampaignSummary, CellRecord, InputKind,
+    StreamConfig,
+};
 pub use dump::MemoryDump;
 pub use error::AttackError;
 pub use metrics::{AttackOutcome, StepTimings};

@@ -99,6 +99,130 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// A minimal hand-rolled JSON object builder (the vendored `serde` stand-in
+/// has no serialization, so machine-readable output — NDJSON progress lines,
+/// `BENCH_campaign.json` — is written through this).
+///
+/// Keys are emitted in insertion order; floats use Rust's shortest-roundtrip
+/// `{}` formatting, so equal values always serialize to equal bytes (the
+/// property the campaign determinism suite compares on).
+///
+/// # Example
+///
+/// ```
+/// use msa_core::report::JsonObject;
+///
+/// let line = JsonObject::new()
+///     .str("event", "group")
+///     .u64("cells", 16)
+///     .f64("rate", 0.5)
+///     .finish();
+/// assert_eq!(line, r#"{"event":"group","cells":16,"rate":0.5}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    fn key(mut self, key: &str) -> Self {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        push_json_string(&mut self.buf, key);
+        self.buf.push(':');
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let mut obj = self.key(key);
+        push_json_string(&mut obj.buf, value);
+        obj
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        let mut obj = self.key(key);
+        obj.buf.push_str(&value.to_string());
+        obj
+    }
+
+    /// Appends a float field with shortest-roundtrip formatting; non-finite
+    /// values (which JSON cannot represent) become `null`.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let mut obj = self.key(key);
+        if value.is_finite() {
+            obj.buf.push_str(&value.to_string());
+        } else {
+            obj.buf.push_str("null");
+        }
+        obj
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        let mut obj = self.key(key);
+        obj.buf.push_str(if value { "true" } else { "false" });
+        obj
+    }
+
+    /// Appends a field whose value is already-serialized JSON (a nested
+    /// object or array).
+    pub fn raw(self, key: &str, json: &str) -> Self {
+        let mut obj = self.key(key);
+        obj.buf.push_str(json);
+        obj
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            return "{}".to_string();
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn push_json_string(buf: &mut String, value: &str) {
+    buf.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Serializes a list of already-serialized JSON values as an array.
+pub fn json_array<I>(items: I) -> String
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(item.as_ref());
+    }
+    buf.push(']');
+    buf
+}
+
 /// Formats a fraction as a percentage with one decimal (e.g. `99.6%`).
 pub fn percent(fraction: f64) -> String {
     format!("{:.1}%", fraction * 100.0)
@@ -147,6 +271,40 @@ mod tests {
     fn mismatched_row_length_panics() {
         let mut table = TextTable::new(vec!["a", "b"]);
         table.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_object_builds_escaped_ordered_output() {
+        let json = JsonObject::new()
+            .str("name", "tiny \"sweep\"\n")
+            .u64("cells", 192)
+            .f64("rate", 0.25)
+            .f64("bad", f64::NAN)
+            .bool("stream", true)
+            .raw("groups", &json_array(["{\"block\":0}".to_string()]))
+            .finish();
+        assert_eq!(
+            json,
+            "{\"name\":\"tiny \\\"sweep\\\"\\n\",\"cells\":192,\"rate\":0.25,\
+             \"bad\":null,\"stream\":true,\"groups\":[{\"block\":0}]}"
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn json_floats_roundtrip_shortest_form() {
+        // The determinism suite compares summaries as JSON strings, so the
+        // formatting must be a function of the value alone.
+        let one = JsonObject::new().f64("v", 1.0).finish();
+        assert_eq!(one, "{\"v\":1}");
+        let third = JsonObject::new().f64("v", 1.0 / 3.0).finish();
+        let reparsed: f64 = third
+            .trim_start_matches("{\"v\":")
+            .trim_end_matches('}')
+            .parse()
+            .unwrap();
+        assert_eq!(reparsed, 1.0 / 3.0);
     }
 
     #[test]

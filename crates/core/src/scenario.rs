@@ -360,6 +360,56 @@ pub struct ScenarioMetrics {
     pub residue_lifetime: ResidueLifetime,
 }
 
+impl ScenarioMetrics {
+    /// A deterministic synthetic metrics record derived purely from `seed` —
+    /// no scenario executes.
+    ///
+    /// This backs the campaign engine's test seam
+    /// ([`crate::campaign::CampaignCell::synthetic_record`]): fleet-scale
+    /// matrices (millions of cells) can exercise the streaming scheduler and
+    /// fold without paying for real attacks.  Every internal invariant the
+    /// aggregators rely on holds (inherited frames never exceed revived
+    /// frames, decayed bytes never exceed raw bytes, rates stay in `[0, 1]`).
+    pub fn synthetic(seed: u64) -> ScenarioMetrics {
+        let a = splitmix64(seed);
+        let b = splitmix64(a);
+        let c = splitmix64(b);
+        // Top 53 bits → uniform in [0, 1), exactly representable.
+        let unit = |x: u64| (x >> 11) as f64 / (1u64 << 53) as f64;
+        let identified = a & 3 != 0;
+        let victim_frames = (b % 64) as usize + 1;
+        let frames_lost = (c % (victim_frames as u64 + 1)) as usize;
+        let revived_heap_frames = (a % 32) as usize;
+        let residue_bytes_raw = victim_frames as u64 * 4096;
+        let residue_bytes_decayed = b % (residue_bytes_raw + 1);
+        let residue_bits_flipped = c % 2048;
+        ScenarioMetrics {
+            identified_model: identified.then_some(ModelKind::Resnet50Pt),
+            model_identified: identified,
+            identification_confidence: if identified { unit(a) } else { 0.0 },
+            pixel_recovery: unit(b),
+            bytes_scraped: (a % (1 << 20)) as usize,
+            dump_coverage: unit(c),
+            residue_frames: victim_frames - frames_lost,
+            denied_operations: 0,
+            scrub_cost_cycles: 0.0,
+            collateral_bytes: 0,
+            active_tenant_intact: None,
+            residue_bits_flipped,
+            residue_lifetime: ResidueLifetime {
+                victim_frames,
+                frames_lost_before_scrape: frames_lost,
+                revived_heap_frames,
+                revival_inherited_frames: ((b % 33) as usize).min(revived_heap_frames),
+                churn_events: 0,
+                residue_bytes_raw,
+                residue_bytes_decayed,
+                residue_bits_flipped,
+            },
+        }
+    }
+}
+
 /// Outcome of a scenario in which the attack could not even complete (e.g.
 /// the debugger was confined).  Kept distinct so defense sweeps can report
 /// *why* an attack failed.

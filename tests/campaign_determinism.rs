@@ -8,7 +8,9 @@
 //! runs.  Only wall-clock fields may differ.
 
 use fpga_msa::dram::SanitizePolicy;
-use fpga_msa::msa::campaign::{CampaignReport, CampaignSpec, CellRecord, InputKind};
+use fpga_msa::msa::campaign::{
+    Adversary, CampaignReport, CampaignSpec, CellRecord, InputKind, StreamConfig,
+};
 use fpga_msa::msa::scenario::VictimSchedule;
 use fpga_msa::msa::ScrapeMode;
 use fpga_msa::petalinux::{BoardConfig, IsolationPolicy};
@@ -265,4 +267,75 @@ fn live_traffic_churn_is_pinned_to_the_cell_seed() {
         lifetime.frames_lost_before_scrape,
         other.frames_lost_before_scrape
     );
+}
+
+/// The streaming engine is a pure reorganization of the batch pool: for the
+/// same real matrix, the streamed summary is byte-identical (via
+/// `deterministic_json`) to the summary folded from the batch report, and
+/// the streaming visitor sees every record in expansion order with the same
+/// deterministic content the batch report stores.
+#[test]
+fn streaming_summary_matches_batch_report_on_real_cells() {
+    let spec = matrix_spec();
+    let batch = spec.run_with_workers(2).unwrap();
+
+    let mut visited = Vec::new();
+    let summary = spec
+        .stream_cells(StreamConfig::default().with_workers(2), |record| {
+            visited.push(record);
+            Ok(())
+        })
+        .unwrap();
+
+    assert_eq!(
+        summary.deterministic_json(),
+        batch.summary().deterministic_json()
+    );
+    assert_eq!(visited.len(), batch.len());
+    for (streamed, batched) in visited.iter().zip(batch.cells()) {
+        assert_eq!(streamed.deterministic_view(), batched.deterministic_view());
+    }
+}
+
+/// Engine determinism proper: for a fixed spec the deterministic summary is
+/// byte-identical across worker counts {1, 2, 8} and across adversarial
+/// completion orders (reverse and seeded-shuffle schedulers that hand
+/// finished blocks to the collector in hostile order).  The synthetic
+/// executor keeps the 288-cell matrix effectively free, so this pins the
+/// scheduling/folding machinery itself, independent of scenario cost.
+#[test]
+fn streaming_summary_is_identical_across_workers_and_completion_orders() {
+    let spec = matrix_spec();
+    let run = |config: StreamConfig| {
+        spec.stream_with_executor(
+            config,
+            |cell| Ok(cell.synthetic_record()),
+            |_| Ok(()),
+            |_| {},
+        )
+        .unwrap()
+        .deterministic_json()
+    };
+
+    // Small blocks force many groups through the reorder buffer.
+    let reference = run(StreamConfig::default().with_workers(1).with_block_size(4));
+    for workers in [1, 2, 8] {
+        for adversary in [
+            None,
+            Some(Adversary::ReverseCompletion),
+            Some(Adversary::ShuffledCompletion { seed: 0xD15C }),
+        ] {
+            let mut config = StreamConfig::default()
+                .with_workers(workers)
+                .with_block_size(4);
+            if let Some(adversary) = adversary {
+                config = config.with_adversary(adversary);
+            }
+            assert_eq!(
+                run(config),
+                reference,
+                "workers={workers}, adversary={adversary:?}"
+            );
+        }
+    }
 }

@@ -14,6 +14,7 @@ const EXPECTED_EXAMPLES: &[&str] = &[
     "model_fingerprinting",
     "multi_tenant",
     "quickstart",
+    "streaming_campaign",
 ];
 
 #[test]

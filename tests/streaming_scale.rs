@@ -1,0 +1,132 @@
+//! Fleet-scale streaming: a million-cell matrix must be bounded by the
+//! worker pool, not by the matrix.
+//!
+//! The synthetic executor (microseconds per cell) drives the full
+//! scheduling/folding machinery over a 1,000,000-cell spec (trimmed to
+//! ~120k cells under debug assertions so `cargo test` stays fast), and the
+//! suite pins the two contracts that make the engine fleet-safe: peak
+//! resident cells stay within the pool's claim + reorder windows, and the
+//! deterministic summary is byte-identical across worker counts.
+
+use fpga_msa::dram::{RemanenceModel, SanitizePolicy};
+use fpga_msa::msa::campaign::{CampaignSpec, InputKind, StreamConfig};
+use fpga_msa::msa::scenario::VictimSchedule;
+use fpga_msa::msa::ScrapeMode;
+use fpga_msa::petalinux::{BoardConfig, IsolationPolicy};
+use fpga_msa::vitis::ModelKind;
+
+/// A fleet matrix of `boards` × 8,000 cells: 8 models × 2 inputs × 5
+/// sanitize policies × 2 isolation policies × 2 scrape modes × 5 remanence
+/// models × 5 victim schedules per board.
+fn fleet_spec(boards: usize) -> CampaignSpec {
+    let board_axis = (0..boards)
+        .map(|i| (format!("fleet-{i:03}"), BoardConfig::tiny_for_tests()))
+        .collect();
+    CampaignSpec::over_boards(board_axis)
+        .with_models(ModelKind::all().to_vec())
+        .with_inputs(vec![InputKind::SamplePhoto, InputKind::Corrupted])
+        .with_sanitize_policies(vec![
+            SanitizePolicy::None,
+            SanitizePolicy::ZeroOnFree,
+            SanitizePolicy::RowClone,
+            SanitizePolicy::SelectiveScrub,
+            SanitizePolicy::Background { delay_ticks: 1000 },
+        ])
+        .with_isolation_policies(vec![IsolationPolicy::Permissive, IsolationPolicy::Confined])
+        .with_scrape_modes(vec![ScrapeMode::ContiguousRange, ScrapeMode::PerPage])
+        .with_remanence_models(vec![
+            RemanenceModel::Perfect,
+            RemanenceModel::Exponential {
+                half_life_ticks: 100,
+            },
+            RemanenceModel::Exponential {
+                half_life_ticks: 10_000,
+            },
+            RemanenceModel::BitFlip { rate_ppm: 50 },
+            RemanenceModel::BitFlip { rate_ppm: 5_000 },
+        ])
+        .with_schedules(vec![
+            VictimSchedule::Single,
+            VictimSchedule::SequentialTraffic { predecessors: 2 },
+            VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            },
+            VictimSchedule::Revival {
+                successors: 2,
+                reuse_pid: false,
+            },
+            VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 1,
+            },
+        ])
+        .with_seed(2024)
+}
+
+/// Boards for the scale matrix: the full million under `--release`, a
+/// ~120k-cell slice when debug assertions make per-cell cost 10-30× higher.
+fn scale_boards() -> usize {
+    if cfg!(debug_assertions) {
+        15
+    } else {
+        125
+    }
+}
+
+#[test]
+fn million_cell_stream_is_bounded_by_the_pool_and_worker_count_independent() {
+    let spec = fleet_spec(scale_boards());
+    let expected_cells = spec.cell_count();
+    assert_eq!(expected_cells % 8000, 0);
+    if !cfg!(debug_assertions) {
+        assert_eq!(expected_cells, 1_000_000);
+    }
+
+    let mut summaries = Vec::new();
+    for workers in [1usize, 8] {
+        let summary = spec
+            .stream_with_executor(
+                StreamConfig::default().with_workers(workers),
+                |cell| Ok(cell.synthetic_record()),
+                |_| Ok(()),
+                |_| {},
+            )
+            .unwrap();
+
+        assert_eq!(summary.cells_total, expected_cells);
+        assert_eq!(summary.workers, workers);
+
+        // Residency bound: at most `workers` blocks claimed, the default
+        // reorder window (`workers + 2` ready blocks) and one block being
+        // folded — never the matrix.  This is the O(workers) guarantee that
+        // lets a million-cell campaign run in constant memory.
+        let bound = (2 * workers + 3) * summary.block_size;
+        assert!(
+            summary.peak_resident_cells <= bound,
+            "peak {} cells exceeds pool bound {} (block size {})",
+            summary.peak_resident_cells,
+            bound,
+            summary.block_size
+        );
+        assert!(summary.peak_resident_cells < expected_cells);
+
+        summaries.push(summary);
+    }
+
+    // Byte-identical science across worker counts, at scale.
+    assert_eq!(
+        summaries[0].deterministic_json(),
+        summaries[1].deterministic_json()
+    );
+
+    // The matrix is not degenerate: both outcomes occur, and the synthetic
+    // blocked fraction (seed % 7 == 0) lands near one seventh.
+    let totals = &summaries[0].totals;
+    assert_eq!(totals.completed + totals.blocked, expected_cells);
+    let blocked_fraction = totals.blocked as f64 / expected_cells as f64;
+    assert!(
+        (0.10..0.19).contains(&blocked_fraction),
+        "blocked fraction {blocked_fraction} implausible for seed % 7 gating"
+    );
+}
