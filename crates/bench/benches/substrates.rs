@@ -7,9 +7,13 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use msa_bench::baseline::HashMapStripeStore;
+use msa_core::analysis::marker::{marker_runs_view, CORRUPTED_MARKER};
 use vitis_ai_sim::runner::heap_image;
 use vitis_ai_sim::{Image, ModelKind, XModel};
-use zynq_dram::{DdrMapping, Dram, DramConfig, FrameNumber, OwnerTag, RemanenceModel, PAGE_SIZE};
+use zynq_dram::{
+    DdrMapping, Dram, DramConfig, FrameNumber, OwnerTag, RemanenceModel, ScrapeView, PAGE_SIZE,
+};
 use zynq_mmu::{
     pagemap, AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, PageTable,
     PagemapEntry, VirtAddr,
@@ -39,9 +43,11 @@ fn bench_dram(c: &mut Criterion) {
         b.iter(|| black_box(dram.read_u32(base).unwrap()))
     });
 
-    // Multi-megabyte transfers: the shape of a whole-heap scrape.  These are
-    // the paths that used to pay one HashMap lookup per byte and now run one
-    // lookup + bulk copy per frame.
+    // Multi-megabyte transfers: the shape of a whole-heap scrape.  The
+    // `_arena` entries run the slab store (offset arithmetic + bulk copy per
+    // stripe); the `_hashmap_baseline` twins run the storage scheme it
+    // replaced (one hash lookup per stripe) so the arena's speedup stays
+    // measurable — `BENCH_substrates.json` records the same comparison.
     const SCRAPE_LEN: u64 = 8 * 1024 * 1024;
     let blob = vec![0xC3u8; SCRAPE_LEN as usize];
     group.sample_size(20);
@@ -52,14 +58,14 @@ fn bench_dram(c: &mut Criterion) {
                 .unwrap()
         })
     });
-    group.bench_function("scrape_read_8mib", |b| {
+    group.bench_function("scrape_read_8mib_arena", |b| {
         let mut buf = vec![0u8; SCRAPE_LEN as usize];
         b.iter(|| dram.read_bytes(black_box(base), &mut buf).unwrap())
     });
     group.bench_function("fill_8mib", |b| {
         b.iter(|| dram.fill(black_box(base), SCRAPE_LEN, 0xFF, owner).unwrap())
     });
-    group.bench_function("scrub_8mib", |b| {
+    group.bench_function("scrub_8mib_arena", |b| {
         b.iter(|| {
             // Refill so every iteration scrubs materialized, dirty frames.
             dram.fill(base, SCRAPE_LEN, 0xFF, owner).unwrap();
@@ -67,21 +73,70 @@ fn bench_dram(c: &mut Criterion) {
         })
     });
 
+    // The pre-arena HashMap-stripe store on the same transfers.
+    {
+        let mut hashmap = HashMapStripeStore::new(cfg);
+        hashmap.fill(base, SCRAPE_LEN, 0xC3);
+        group.bench_function("scrape_read_8mib_hashmap_baseline", |b| {
+            let mut buf = vec![0u8; SCRAPE_LEN as usize];
+            b.iter(|| hashmap.read_bytes(black_box(base), &mut buf))
+        });
+        group.bench_function("scrub_8mib_hashmap_baseline", |b| {
+            b.iter(|| {
+                hashmap.fill(base, SCRAPE_LEN, 0xFF);
+                hashmap.scrub_range(black_box(base), SCRAPE_LEN)
+            })
+        });
+    }
+
     // The bank-parallel twins of the 8 MiB scrape and scrub: same bytes,
     // fanned across 4 bank-shard workers.  Compare against the sequential
     // entries above to see what the sharding buys on this machine.
-    group.bench_function("scrape_read_8mib_banked_x4", |b| {
+    group.bench_function("scrape_read_8mib_arena_banked_x4", |b| {
         let mut buf = vec![0u8; SCRAPE_LEN as usize];
         b.iter(|| {
             dram.scrape_banks_parallel(black_box(base), &mut buf, 4)
                 .unwrap()
         })
     });
-    group.bench_function("scrub_8mib_banked_x4", |b| {
+    group.bench_function("scrub_8mib_arena_banked_x4", |b| {
         b.iter(|| {
             dram.fill(base, SCRAPE_LEN, 0xFF, owner).unwrap();
             dram.scrub_banks_parallel(black_box(base), SCRAPE_LEN, 4)
                 .unwrap()
+        })
+    });
+
+    // The zero-copy read path: borrowing a `ScrapeView` over the slabs costs
+    // O(chunks) pointer pushes instead of O(bytes) copying, and an analysis
+    // pass consumes it in place.  The `_owned` twin pays the assemble-copy
+    // the view path skips — this is the pipeline-level win `--timing`
+    // records in `BENCH_substrates.json`.
+    group.bench_function("scrape_view_build_8mib", |b| {
+        b.iter(|| {
+            black_box(
+                dram.scrape_view(black_box(base), SCRAPE_LEN)
+                    .unwrap()
+                    .expect("perfect remanence hands out views"),
+            )
+            .len()
+        })
+    });
+    group.bench_function("analysis_marker_pass_8mib_owned", |b| {
+        dram.fill(base, SCRAPE_LEN, 0xFF, owner).unwrap();
+        let mut buf = vec![0u8; SCRAPE_LEN as usize];
+        b.iter(|| {
+            dram.read_bytes(black_box(base), &mut buf).unwrap();
+            black_box(marker_runs_view(&ScrapeView::from_slice(&buf), CORRUPTED_MARKER, 64).len())
+        })
+    });
+    group.bench_function("analysis_marker_pass_8mib_zero_copy", |b| {
+        b.iter(|| {
+            let view = dram
+                .scrape_view(black_box(base), SCRAPE_LEN)
+                .unwrap()
+                .expect("perfect remanence hands out views");
+            black_box(marker_runs_view(&view, CORRUPTED_MARKER, 64).len())
         })
     });
 

@@ -1,0 +1,193 @@
+//! The pre-arena DRAM storage scheme, preserved as a benchmark baseline.
+//!
+//! Until the arena refactor, every bank shard stored its stripes in a
+//! `HashMap<u64, Box<[u8]>>` — one row-sized boxed slice per touched
+//! stripe, found by hashing the stripe index on every access.  The store
+//! here reproduces exactly that data layout (without the remanence /
+//! sanitizer machinery, which is identical on both sides), so the
+//! `substrates` benchmarks and `BENCH_substrates.json` can keep measuring
+//! the arena's speedup against the design it replaced long after the
+//! production code has moved on.
+//!
+//! Functional behaviour matches [`zynq_dram::Dram`] byte-for-byte on the
+//! read/write/fill/scrub subset — pinned by the unit test below — so any
+//! throughput difference in the benchmarks is attributable to the storage
+//! scheme alone.
+
+use std::collections::HashMap;
+
+use zynq_dram::config::DdrGeometry;
+use zynq_dram::{DramConfig, PhysAddr};
+
+/// A DRAM window stored as per-bank `HashMap`s of row-sized stripe boxes —
+/// the storage scheme the arena slabs replaced.
+pub struct HashMapStripeStore {
+    config: DramConfig,
+    geometry: DdrGeometry,
+    /// One map per flat bank id, keyed by the per-bank stripe ordinal.
+    banks: Vec<HashMap<u64, Box<[u8]>>>,
+}
+
+impl HashMapStripeStore {
+    /// An empty (all-zero) window with the layout of `config`.
+    pub fn new(config: DramConfig) -> Self {
+        let geometry = config.geometry();
+        let banks = (0..geometry.bank_count()).map(|_| HashMap::new()).collect();
+        HashMapStripeStore {
+            config,
+            geometry,
+            banks,
+        }
+    }
+
+    /// Bytes per stripe (one DRAM row).
+    pub fn stripe_bytes(&self) -> u64 {
+        self.geometry.row_bytes()
+    }
+
+    /// Number of stripes currently backed by an allocation.
+    pub fn materialized_stripes(&self) -> usize {
+        self.banks.iter().map(HashMap::len).sum()
+    }
+
+    fn assert_range(&self, addr: PhysAddr, len: u64) {
+        assert!(
+            self.config.contains_range(addr, len),
+            "range {addr}+{len:#x} outside the DRAM window"
+        );
+    }
+
+    /// Walks `[addr, addr+len)` stripe by stripe, handing each visitor the
+    /// bank map, the stripe ordinal and the in-stripe byte range.
+    fn for_each_stripe(
+        &mut self,
+        addr: PhysAddr,
+        len: u64,
+        mut visit: impl FnMut(&mut HashMap<u64, Box<[u8]>>, u64, usize, usize, usize),
+    ) {
+        let sb = self.stripe_bytes();
+        let mut rel = addr.offset_from(self.config.base());
+        let mut remaining = len;
+        let mut consumed = 0usize;
+        while remaining > 0 {
+            let stripe = rel / sb;
+            let start = (rel % sb) as usize;
+            let take = (sb - start as u64).min(remaining) as usize;
+            let bank = self.geometry.bank_of_stripe(stripe) as usize;
+            let ordinal = self.geometry.ordinal_of_stripe(stripe);
+            visit(&mut self.banks[bank], ordinal, start, take, consumed);
+            rel += take as u64;
+            remaining -= take as u64;
+            consumed += take;
+        }
+    }
+
+    /// Copies `data` into the window at `addr`, materializing stripes on
+    /// first touch exactly as the old store did.
+    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.assert_range(addr, data.len() as u64);
+        let sb = self.stripe_bytes() as usize;
+        self.for_each_stripe(addr, data.len() as u64, |bank, ordinal, start, take, at| {
+            let stripe = bank
+                .entry(ordinal)
+                .or_insert_with(|| vec![0u8; sb].into_boxed_slice());
+            stripe[start..start + take].copy_from_slice(&data[at..at + take]);
+        });
+    }
+
+    /// Fills `[addr, addr+len)` with `value`.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, value: u8) {
+        self.assert_range(addr, len);
+        let sb = self.stripe_bytes() as usize;
+        self.for_each_stripe(addr, len, |bank, ordinal, start, take, _| {
+            let stripe = bank
+                .entry(ordinal)
+                .or_insert_with(|| vec![0u8; sb].into_boxed_slice());
+            stripe[start..start + take].fill(value);
+        });
+    }
+
+    /// Zeroes every already-materialized stripe overlapping the range —
+    /// the old scrub loop: one hash lookup per stripe, skip the absent.
+    pub fn scrub_range(&mut self, addr: PhysAddr, len: u64) {
+        self.assert_range(addr, len);
+        self.for_each_stripe(addr, len, |bank, ordinal, start, take, _| {
+            if let Some(stripe) = bank.get_mut(&ordinal) {
+                stripe[start..start + take].fill(0);
+            }
+        });
+    }
+
+    /// Reads `buf.len()` bytes at `addr`; absent stripes read as zero.
+    pub fn read_bytes(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.assert_range(addr, buf.len() as u64);
+        let sb = self.stripe_bytes();
+        let mut rel = addr.offset_from(self.config.base());
+        let mut at = 0usize;
+        while at < buf.len() {
+            let stripe = rel / sb;
+            let start = (rel % sb) as usize;
+            let take = (sb as usize - start).min(buf.len() - at);
+            let bank = self.geometry.bank_of_stripe(stripe) as usize;
+            let ordinal = self.geometry.ordinal_of_stripe(stripe);
+            match self.banks[bank].get(&ordinal) {
+                Some(data) => buf[at..at + take].copy_from_slice(&data[start..start + take]),
+                None => buf[at..at + take].fill(0),
+            }
+            rel += take as u64;
+            at += take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zynq_dram::{Dram, OwnerTag};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn baseline_store_matches_the_arena_dram_byte_for_byte() {
+        let config = DramConfig::tiny_for_tests();
+        let mut baseline = HashMapStripeStore::new(config);
+        let mut arena = Dram::new(config);
+        let owner = OwnerTag::new(7);
+        let base = config.base();
+        let capacity = config.capacity();
+
+        let mut rng = 0xB45E_11AEu64;
+        for round in 0..200u64 {
+            let offset = splitmix64(&mut rng) % (capacity - 1);
+            let len = 1 + splitmix64(&mut rng) % (capacity - offset).min(64 * 1024);
+            match round % 4 {
+                0 | 1 => {
+                    let data: Vec<u8> = (0..len).map(|_| splitmix64(&mut rng) as u8).collect();
+                    baseline.write_bytes(base + offset, &data);
+                    arena.write_bytes(base + offset, &data, owner).unwrap();
+                }
+                2 => {
+                    let value = splitmix64(&mut rng) as u8;
+                    baseline.fill(base + offset, len, value);
+                    arena.fill(base + offset, len, value, owner).unwrap();
+                }
+                _ => {
+                    baseline.scrub_range(base + offset, len);
+                    arena.scrub_range(base + offset, len).unwrap();
+                }
+            }
+            let probe_len = (1 + splitmix64(&mut rng) % 4096).min(capacity - offset) as usize;
+            let mut a = vec![0u8; probe_len];
+            let mut b = vec![0u8; probe_len];
+            baseline.read_bytes(base + offset, &mut a);
+            arena.read_bytes(base + offset, &mut b).unwrap();
+            assert_eq!(a, b, "round {round} at +{offset:#x}");
+        }
+    }
+}

@@ -35,7 +35,7 @@ use msa_core::defense::{
     evaluate_revival, evaluate_sanitize_policies,
 };
 use msa_core::profile::Profiler;
-use msa_core::report::{bytes, percent, TextTable};
+use msa_core::report::{bytes, percent, JsonObject, TextTable};
 use msa_core::{ScrapeMode, VictimSchedule};
 use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, Shell};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
@@ -169,6 +169,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     if figure_flags.iter().any(|f| options.want(f)) {
         attack_walkthrough(&options)?;
+    }
+    if options.want("--timing") {
+        write_substrates_bench(&options)?;
     }
     if options.want("--defenses") {
         defenses(&options)?;
@@ -355,6 +358,101 @@ fn attack_walkthrough(options: &Options) -> Result<(), Box<dyn std::error::Error
             percent(outcome.dump_coverage)
         );
     }
+    Ok(())
+}
+
+/// Rides along with `--timing`: measures the arena store's owned and
+/// zero-copy 8 MiB scrape (plus the full-region scrub) against the pre-arena
+/// HashMap-stripe baseline, and records the comparison in
+/// `BENCH_substrates.json` (schema `msa-bench-substrates-v1`) — the
+/// cross-PR perf trajectory record for the storage substrate, the companion
+/// of `BENCH_campaign.json`.
+///
+/// The note goes to stderr: the golden-output tests pin `--timing` stdout
+/// byte-for-byte, and wall-clock results belong in the JSON artifact, not
+/// the table stream.
+fn write_substrates_bench(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    use msa_bench::baseline::HashMapStripeStore;
+    use std::time::{Duration, Instant};
+    use zynq_dram::{Dram, DramConfig, OwnerTag};
+
+    /// Region every measurement runs over (fits the tiny test window).
+    const SCRAPE_LEN: u64 = 8 * 1024 * 1024;
+
+    fn time_best_of<F: FnMut()>(runs: usize, mut f: F) -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..runs {
+            let started = Instant::now();
+            f();
+            best = best.min(started.elapsed());
+        }
+        best
+    }
+
+    let config = if options.tiny {
+        DramConfig::tiny_for_tests()
+    } else {
+        DramConfig::zcu104()
+    };
+    let base = config.base();
+    let owner = OwnerTag::new(1391);
+    let mut buf = vec![0u8; SCRAPE_LEN as usize];
+
+    // The storage scheme the arena replaced: per-bank HashMaps of boxed
+    // stripes, one hash lookup per stripe on every access.
+    let mut hashmap = HashMapStripeStore::new(config);
+    hashmap.fill(base, SCRAPE_LEN, 0xC3);
+    let baseline_read = time_best_of(5, || hashmap.read_bytes(base, &mut buf));
+    let mut baseline_scrub = Duration::MAX;
+    for _ in 0..3 {
+        hashmap.fill(base, SCRAPE_LEN, 0xFF);
+        let started = Instant::now();
+        hashmap.scrub_range(base, SCRAPE_LEN);
+        baseline_scrub = baseline_scrub.min(started.elapsed());
+    }
+
+    // The arena store: owned read (offset arithmetic + bulk copy per
+    // stripe), zero-copy borrowed view (O(chunks) pointer pushes, no byte
+    // ever copied), and the fill-over-slab-ranges scrub.
+    let mut dram = Dram::new(config);
+    dram.fill(base, SCRAPE_LEN, 0xC3, owner)?;
+    let arena_read = time_best_of(5, || dram.read_bytes(base, &mut buf).unwrap());
+    let arena_view = time_best_of(5, || {
+        let view = dram
+            .scrape_view(base, SCRAPE_LEN)
+            .unwrap()
+            .expect("perfect remanence hands out borrowed views");
+        std::hint::black_box(view.len());
+    });
+    let mut arena_scrub = Duration::MAX;
+    for _ in 0..3 {
+        dram.fill(base, SCRAPE_LEN, 0xFF, owner)?;
+        let started = Instant::now();
+        dram.scrub_range(base, SCRAPE_LEN)?;
+        arena_scrub = arena_scrub.min(started.elapsed());
+    }
+
+    let ratio = |baseline: Duration, new: Duration| {
+        baseline.as_secs_f64() / new.as_secs_f64().max(f64::MIN_POSITIVE)
+    };
+    let json = JsonObject::new()
+        .str("schema", "msa-bench-substrates-v1")
+        .str("board", options.board_name())
+        .u64("scrape_len_bytes", SCRAPE_LEN)
+        .u64("baseline_hashmap_read_ns", baseline_read.as_nanos() as u64)
+        .u64("arena_read_ns", arena_read.as_nanos() as u64)
+        .u64("arena_view_ns", arena_view.as_nanos() as u64)
+        .u64(
+            "baseline_hashmap_scrub_ns",
+            baseline_scrub.as_nanos() as u64,
+        )
+        .u64("arena_scrub_ns", arena_scrub.as_nanos() as u64)
+        .f64("speedup_arena_read", ratio(baseline_read, arena_read))
+        .f64("speedup_arena_view", ratio(baseline_read, arena_view))
+        .f64("speedup_arena_scrub", ratio(baseline_scrub, arena_scrub))
+        .finish();
+    std::fs::write("BENCH_substrates.json", format!("{json}\n"))?;
+    eprintln!("wrote BENCH_substrates.json");
     Ok(())
 }
 

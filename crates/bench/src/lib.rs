@@ -11,6 +11,8 @@
 //!
 //! The helpers here are shared between the two.
 
+pub mod baseline;
+
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::profile::{ProfileDatabase, Profiler};
 use petalinux_sim::{BoardConfig, Kernel, UserId};

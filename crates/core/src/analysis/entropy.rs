@@ -9,6 +9,7 @@
 //! second contribution describes, independent of the signature database.
 
 use serde::{Deserialize, Serialize};
+use zynq_dram::ScrapeView;
 
 use crate::dump::MemoryDump;
 
@@ -114,21 +115,41 @@ fn classify_window(bytes: &[u8]) -> (f64, f64, RegionClass) {
 ///
 /// Panics if `window` is zero.
 pub fn classify_regions(dump: &MemoryDump, window: usize) -> Vec<Region> {
+    classify_regions_view(&dump.as_view(), window)
+}
+
+/// [`classify_regions`] over a borrowed [`ScrapeView`]: windows that lie
+/// inside one view segment are classified in place; only windows straddling
+/// a segment boundary go through a small reused scratch buffer (the dump
+/// form delegates here).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn classify_regions_view(view: &ScrapeView<'_>, window: usize) -> Vec<Region> {
     assert!(window > 0, "window size must be non-zero");
-    dump.as_bytes()
-        .chunks(window)
-        .enumerate()
-        .map(|(i, chunk)| {
-            let (entropy, printable_fraction, class) = classify_window(chunk);
-            Region {
-                offset: (i * window) as u64,
-                len: chunk.len(),
-                entropy,
-                printable_fraction,
-                class,
+    let mut regions = Vec::with_capacity(view.len().div_ceil(window));
+    let mut scratch = vec![0u8; window];
+    let mut offset = 0usize;
+    while offset < view.len() {
+        let len = window.min(view.len() - offset);
+        let (entropy, printable_fraction, class) = match view.try_borrow(offset, len) {
+            Some(slice) => classify_window(slice),
+            None => {
+                view.copy_into(offset, &mut scratch[..len]);
+                classify_window(&scratch[..len])
             }
-        })
-        .collect()
+        };
+        regions.push(Region {
+            offset: offset as u64,
+            len,
+            entropy,
+            printable_fraction,
+            class,
+        });
+        offset += len;
+    }
+    regions
 }
 
 /// Summary of a classified dump: how many bytes fall in each class.
@@ -167,8 +188,13 @@ impl RegionSummary {
 /// Classifies the dump with the default window and aggregates per-class byte
 /// counts.
 pub fn summarize(dump: &MemoryDump) -> RegionSummary {
+    summarize_view(&dump.as_view())
+}
+
+/// [`summarize`] over a borrowed [`ScrapeView`].
+pub fn summarize_view(view: &ScrapeView<'_>) -> RegionSummary {
     let mut summary = RegionSummary::default();
-    for region in classify_regions(dump, DEFAULT_WINDOW) {
+    for region in classify_regions_view(view, DEFAULT_WINDOW) {
         let len = region.len as u64;
         match region.class {
             RegionClass::Zero => summary.zero += len,

@@ -1,6 +1,7 @@
 //! Step 4.b: reconstructing the victim's input image.
 
 use vitis_ai_sim::{Image, ModelKind};
+use zynq_dram::ScrapeView;
 
 use crate::dump::MemoryDump;
 
@@ -14,6 +15,20 @@ pub fn reconstruct_image(dump: &MemoryDump, model: ModelKind, offset: u64) -> Op
     let len = (w * h * 3) as usize;
     let bytes = dump.slice(offset, len)?;
     Image::reconstruct(w, h, bytes)
+}
+
+/// [`reconstruct_image`] over a borrowed [`ScrapeView`].  The image bytes
+/// themselves are copied out (an [`Image`] owns its pixels); everything
+/// around them stays zero-copy.
+pub fn reconstruct_image_view(
+    view: &ScrapeView<'_>,
+    model: ModelKind,
+    offset: u64,
+) -> Option<Image> {
+    let (w, h) = model.input_dims();
+    let len = (w * h * 3) as usize;
+    let bytes = view.to_vec_range(usize::try_from(offset).ok()?, len)?;
+    Image::reconstruct(w, h, &bytes)
 }
 
 /// Scores a reconstruction against the ground-truth input: the fraction of

@@ -6,6 +6,7 @@
 //! run-length scanner behind both steps.
 
 use serde::{Deserialize, Serialize};
+use zynq_dram::ScrapeView;
 
 use crate::dump::MemoryDump;
 
@@ -34,29 +35,34 @@ impl MarkerRun {
 /// Finds maximal runs of `marker` (repeated little-endian 32-bit words) that
 /// are at least `min_len` bytes long.
 pub fn marker_runs(dump: &MemoryDump, marker: u32, min_len: u64) -> Vec<MarkerRun> {
+    marker_runs_view(&dump.as_view(), marker, min_len)
+}
+
+/// [`marker_runs`] over a borrowed [`ScrapeView`] — the zero-copy scan the
+/// view-based pipeline uses (the dump form delegates here, so both paths run
+/// the identical algorithm).
+pub fn marker_runs_view(view: &ScrapeView<'_>, marker: u32, min_len: u64) -> Vec<MarkerRun> {
     let pattern = marker.to_le_bytes();
-    let bytes = dump.as_bytes();
+    let uniform = pattern.iter().all(|&b| b == pattern[0]);
+    let len = view.len();
     let mut runs = Vec::new();
     let mut i = 0usize;
-    while i + 4 <= bytes.len() {
-        if bytes[i..i + 4] == pattern {
+    while i + 4 <= len {
+        if view.word_eq(i, &pattern) {
             let start = i;
-            while i + 4 <= bytes.len() && bytes[i..i + 4] == pattern {
+            while view.word_eq(i, &pattern) {
                 i += 4;
             }
             // Extend over a partial trailing word of the same byte (runs of a
             // repeated byte are not word-quantized in the dump).
-            while i < bytes.len()
-                && bytes[i] == pattern[0]
-                && pattern.iter().all(|&b| b == pattern[0])
-            {
+            while uniform && i < len && view.byte_at(i) == pattern[0] {
                 i += 1;
             }
-            let len = (i - start) as u64;
-            if len >= min_len {
+            let run_len = (i - start) as u64;
+            if run_len >= min_len {
                 runs.push(MarkerRun {
                     offset: start as u64,
-                    len,
+                    len: run_len,
                 });
             }
         } else {
@@ -148,6 +154,29 @@ mod tests {
         let dump = dump_of(bytes);
         assert_eq!(first_marker_offset(&dump, CORRUPTED_MARKER, 8), Some(0));
         assert_eq!(first_marker_offset(&dump, SENTINEL_MARKER, 8), Some(16));
+    }
+
+    #[test]
+    fn chunked_view_scan_matches_the_owned_scan() {
+        // Runs straddling chunk boundaries must be found identically whether
+        // the bytes live in one owned buffer or a multi-segment view.
+        let mut bytes = vec![0u8; 50];
+        bytes.extend_from_slice(&[0xFF; 100]); // spans the 64-byte boundary
+        bytes.extend_from_slice(&[0u8; 42]);
+        bytes.extend_from_slice(&[0x55; 19]); // unaligned tail run
+        let dump = dump_of(bytes.clone());
+
+        let mut view = ScrapeView::with_unit(64);
+        for chunk in bytes.chunks(64) {
+            view.push_chunk(chunk);
+        }
+        for (marker, min_len) in [(CORRUPTED_MARKER, 16), (SENTINEL_MARKER, 4)] {
+            assert_eq!(
+                marker_runs_view(&view, marker, min_len),
+                marker_runs(&dump, marker, min_len),
+                "marker {marker:08x}"
+            );
+        }
     }
 
     #[test]

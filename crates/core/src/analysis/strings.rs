@@ -1,5 +1,7 @@
 //! Step 4.a: identifying the model from strings in the dump.
 
+use zynq_dram::ScrapeView;
+
 use crate::dump::MemoryDump;
 use crate::signature::{ModelMatch, SignatureDb};
 
@@ -9,6 +11,12 @@ use crate::signature::{ModelMatch, SignatureDb};
 /// memory was sanitized).
 pub fn identify_model(dump: &MemoryDump, db: &SignatureDb) -> Option<ModelMatch> {
     db.best_match(dump)
+}
+
+/// [`identify_model`] over a borrowed [`ScrapeView`] — the zero-copy
+/// identification step of the view-based pipeline.
+pub fn identify_model_view(view: &ScrapeView<'_>, db: &SignatureDb) -> Option<ModelMatch> {
+    db.best_match_view(view)
 }
 
 /// Returns the `grep`-style evidence lines for a match: every hexdump row

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use vitis_ai_sim::{weights, ModelKind};
+use zynq_dram::ScrapeView;
 
 use crate::dump::MemoryDump;
 
@@ -34,22 +35,26 @@ pub struct WeightMatch {
 /// only if its probe (the first [`PROBE_LEN`] bytes of its public weights)
 /// occurs in the dump.
 pub fn match_weights(dump: &MemoryDump) -> Vec<WeightMatch> {
-    let bytes = dump.as_bytes();
+    match_weights_view(&dump.as_view())
+}
+
+/// [`match_weights`] over a borrowed [`ScrapeView`]: the probes are located
+/// with the view's segment-wise search and the match fraction counted in
+/// place, no owned copy of the dump required (the dump form delegates here).
+pub fn match_weights_view(view: &ScrapeView<'_>) -> Vec<WeightMatch> {
     let mut matches = Vec::new();
     for model in ModelKind::all() {
         let known = weights::quantized_weights(model);
         let probe = &known[..known.len().min(PROBE_LEN)];
-        if probe.is_empty() || probe.len() > bytes.len() {
+        if probe.is_empty() || probe.len() > view.len() {
             continue;
         }
-        let Some(offset) = bytes.windows(probe.len()).position(|w| w == probe) else {
+        let Some(offset) = view.find(probe) else {
             continue;
         };
-        let available = &bytes[offset..];
-        let matching = known
-            .iter()
-            .zip(available.iter())
-            .filter(|(a, b)| a == b)
+        let available = view.len() - offset;
+        let matching = (0..known.len().min(available))
+            .filter(|&i| view.byte_at(offset + i) == known[i])
             .count();
         matches.push(WeightMatch {
             model,
@@ -72,11 +77,16 @@ pub fn identify_model_by_weights(dump: &MemoryDump) -> Option<WeightMatch> {
 
 /// Extracts the victim's weight blob from the dump given a weight match,
 /// returning as many bytes as the dump still holds.
+///
+/// Both bounds are clamped to the dump: a match whose recorded offset lies
+/// at or beyond the dump edge (possible when the match came from a larger
+/// dump, or the dump was truncated since) yields a short or empty blob
+/// instead of panicking.
 pub fn extract_weights(dump: &MemoryDump, matched: &WeightMatch) -> Vec<u8> {
     let full_len = matched.model.simulated_param_count() as usize;
-    let start = matched.weights_offset as usize;
-    let end = (start + full_len).min(dump.len());
-    dump.as_bytes()[start.min(dump.len())..end].to_vec()
+    let start = (matched.weights_offset as usize).min(dump.len());
+    let end = start.saturating_add(full_len).min(dump.len());
+    dump.as_bytes()[start..end].to_vec()
 }
 
 #[cfg(test)]
@@ -168,6 +178,34 @@ mod tests {
         // Extraction is clamped to what the dump holds.
         let extracted = extract_weights(&dump, &best);
         assert!(extracted.len() <= known.len());
+    }
+
+    #[test]
+    fn extraction_at_the_dump_edge_is_clamped_not_panicking() {
+        // Regression: the slice range used to be clamped only on one side,
+        // so a match offset at or past the dump edge panicked with
+        // `start > end`.  A match can legitimately outlive its dump (e.g.
+        // recorded from a longer profiling dump, then applied to a truncated
+        // capture).
+        let dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), vec![1u8; 64]);
+        let past_end = WeightMatch {
+            model: ModelKind::SqueezeNet,
+            weights_offset: 1024,
+            blob_match_fraction: 1.0,
+        };
+        assert!(extract_weights(&dump, &past_end).is_empty());
+        let at_end = WeightMatch {
+            weights_offset: dump.len() as u64,
+            ..past_end
+        };
+        assert!(extract_weights(&dump, &at_end).is_empty());
+        let near_end = WeightMatch {
+            weights_offset: dump.len() as u64 - 8,
+            ..past_end
+        };
+        assert_eq!(extract_weights(&dump, &near_end), vec![1u8; 8]);
+        // The empty dump is the degenerate edge of the same bug.
+        assert!(extract_weights(&MemoryDump::empty(VirtAddr::new(0)), &past_end).is_empty());
     }
 
     #[test]

@@ -7,14 +7,16 @@ use serde::{Deserialize, Serialize};
 use vitis_ai_sim::ModelKind;
 use xsdb::DebugSession;
 
-use crate::analysis::image::reconstruct_image;
-use crate::analysis::marker::{marker_runs, CORRUPTED_MARKER};
-use crate::analysis::strings::identify_model;
-use crate::dump::MemoryDump;
+use zynq_dram::ScrapeView;
+
+use crate::analysis::image::reconstruct_image_view;
+use crate::analysis::marker::{marker_runs_view, CORRUPTED_MARKER};
+use crate::analysis::strings::identify_model_view;
+use crate::dump::{HeapView, MemoryDump};
 use crate::error::AttackError;
 use crate::metrics::{AttackOutcome, OffsetSource, StepTimingsBuilder};
 use crate::profile::ProfileDatabase;
-use crate::scrape::scrape_heap;
+use crate::scrape::{scrape_heap, scrape_heap_view};
 use crate::signature::SignatureDb;
 use crate::translate::{capture_heap_translation, HeapTranslation};
 
@@ -332,8 +334,16 @@ impl AttackPipeline {
     /// Step 4: analyse a dump — identify the model, find image markers,
     /// reconstruct the image.
     pub fn analyze(&self, dump: &MemoryDump) -> Analysis {
-        let identified = identify_model(dump, &self.signatures);
-        let runs = marker_runs(dump, CORRUPTED_MARKER, self.config.marker_min_run);
+        self.analyze_view(&dump.as_view())
+    }
+
+    /// Step 4 over a borrowed [`ScrapeView`] — the same analysis, run
+    /// directly against the bank arenas with no owned dump in between
+    /// ([`AttackPipeline::analyze`] delegates here, so both paths share one
+    /// algorithm).
+    pub fn analyze_view(&self, view: &ScrapeView<'_>) -> Analysis {
+        let identified = identify_model_view(view, &self.signatures);
+        let runs = marker_runs_view(view, CORRUPTED_MARKER, self.config.marker_min_run);
 
         let mut image_offset_used = None;
         let mut reconstructed_image = None;
@@ -351,7 +361,8 @@ impl AttackPipeline {
                     image_offset_used = Some(OffsetSource::Marker { offset: run.offset });
                 }
                 if let Some(source) = image_offset_used {
-                    reconstructed_image = reconstruct_image(dump, matched.model, source.offset());
+                    reconstructed_image =
+                        reconstruct_image_view(view, matched.model, source.offset());
                 }
             }
         }
@@ -396,8 +407,43 @@ impl AttackPipeline {
         }
     }
 
+    /// [`AttackPipeline::score_dump`] for the zero-copy path: analyses a
+    /// borrowed [`HeapView`] and folds it into the same [`AttackOutcome`].
+    pub fn score_view(
+        &self,
+        observation: &Observation,
+        heap: &HeapView<'_>,
+        scrape_elapsed: Duration,
+    ) -> AttackOutcome {
+        let analyze_start = Instant::now();
+        let analysis = self.analyze_view(heap.view());
+        let analyze_elapsed = analyze_start.elapsed();
+
+        AttackOutcome {
+            victim_pid: observation.pid(),
+            identified: analysis.identified,
+            marker_runs: analysis.marker_runs,
+            reconstructed_image: analysis.reconstructed_image,
+            image_offset_used: analysis.image_offset_used,
+            bytes_scraped: heap.len(),
+            dump_coverage: heap.coverage(),
+            timings: observation
+                .timings
+                .with_scrape(scrape_elapsed)
+                .with_analyze(analyze_elapsed)
+                .build(),
+        }
+    }
+
     /// Steps 3–4: scrape the terminated victim and analyse the dump,
     /// producing the full [`AttackOutcome`] with timings.
+    ///
+    /// When the board's remanence model permits borrowed reads (the default
+    /// perfect model), the scrape-and-analyse hot path runs zero-copy: the
+    /// heap is borrowed straight out of the DRAM bank arenas as a
+    /// [`HeapView`] and analysed in place.  Otherwise it falls back to the
+    /// owned [`MemoryDump`].  Outcome and audit trail are identical either
+    /// way.
     ///
     /// # Errors
     ///
@@ -408,8 +454,27 @@ impl AttackPipeline {
         kernel: &Kernel,
         observation: &Observation,
     ) -> Result<AttackOutcome, AttackError> {
+        if debugger.is_running(kernel, observation.pid()) {
+            return Err(AttackError::VictimStillRunning {
+                pid: observation.pid(),
+            });
+        }
         let scrape_start = Instant::now();
-        let dump = self.scrape_after_termination(debugger, kernel, observation)?;
+        if let Some(heap) = scrape_heap_view(
+            debugger,
+            kernel,
+            observation.translation(),
+            self.config.scrape_mode,
+        )? {
+            let scrape_elapsed = scrape_start.elapsed();
+            return Ok(self.score_view(observation, &heap, scrape_elapsed));
+        }
+        let dump = scrape_heap(
+            debugger,
+            kernel,
+            observation.translation(),
+            self.config.scrape_mode,
+        )?;
         let scrape_elapsed = scrape_start.elapsed();
         Ok(self.score_dump(observation, &dump, scrape_elapsed))
     }
@@ -492,6 +557,44 @@ mod tests {
         assert_eq!(
             outcome.image_recovery_rate(&Image::corrupted(224, 224)),
             1.0
+        );
+    }
+
+    #[test]
+    fn zero_copy_execute_scores_identically_to_the_owned_pipeline() {
+        let pipeline = pipeline_with_profiles();
+        let mut kernel = Kernel::boot(board());
+        let input = Image::corrupted(224, 224);
+        let victim = DpuRunner::new(ModelKind::Resnet50Pt)
+            .with_input(input.clone())
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut debugger = DebugSession::connect(UserId::new(1));
+        let observation = pipeline.poll_and_observe(&mut debugger, &kernel).unwrap();
+        victim.terminate(&mut kernel).unwrap();
+
+        // `execute` takes the zero-copy view path under perfect remanence;
+        // the owned scrape-and-score must agree on every non-timing field.
+        let via_view = pipeline
+            .execute(&mut debugger, &kernel, &observation)
+            .unwrap();
+        let dump = pipeline
+            .scrape_after_termination(&mut debugger, &kernel, &observation)
+            .unwrap();
+        let via_dump = pipeline.score_dump(&observation, &dump, Duration::ZERO);
+
+        assert_eq!(via_view.victim_pid, via_dump.victim_pid);
+        assert_eq!(via_view.identified, via_dump.identified);
+        assert_eq!(via_view.marker_runs, via_dump.marker_runs);
+        assert_eq!(via_view.reconstructed_image, via_dump.reconstructed_image);
+        assert_eq!(via_view.image_offset_used, via_dump.image_offset_used);
+        assert_eq!(via_view.bytes_scraped, via_dump.bytes_scraped);
+        assert_eq!(via_view.dump_coverage, via_dump.dump_coverage);
+
+        // And the analysis cores agree directly, dump vs borrowed view.
+        assert_eq!(
+            pipeline.analyze(&dump),
+            pipeline.analyze_view(&dump.as_view())
         );
     }
 

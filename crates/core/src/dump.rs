@@ -1,7 +1,7 @@
 //! The scraped memory dump.
 
 use serde::{Deserialize, Serialize};
-use zynq_dram::{PhysAddr, PAGE_SIZE};
+use zynq_dram::{PhysAddr, ScrapeView, PAGE_SIZE};
 use zynq_mmu::VirtAddr;
 
 use crate::hexdump::HexDump;
@@ -88,6 +88,12 @@ impl MemoryDump {
         &self.bytes
     }
 
+    /// The dump as a single-segment [`ScrapeView`], so owned dumps run
+    /// through the same view-based analysis cores the zero-copy path uses.
+    pub fn as_view(&self) -> ScrapeView<'_> {
+        ScrapeView::from_slice(&self.bytes)
+    }
+
     /// Length of the dump in bytes.
     pub fn len(&self) -> usize {
         self.bytes.len()
@@ -157,12 +163,125 @@ impl MemoryDump {
     }
 }
 
+/// The zero-copy counterpart of [`MemoryDump`]: the victim's heap as a
+/// borrowed [`ScrapeView`] over the DRAM bank arenas, plus the same per-page
+/// coverage accounting the owned dump records.
+///
+/// Produced by [`crate::scrape::scrape_heap_view`] when the board's remanence
+/// model permits borrowed reads; the analysis stages consume the view
+/// directly, so the scrape-and-analyse hot path never assembles an owned
+/// byte buffer.
+#[derive(Debug, Clone)]
+pub struct HeapView<'a> {
+    heap_start: VirtAddr,
+    view: ScrapeView<'a>,
+    pages_captured: usize,
+    pages_total: usize,
+}
+
+impl<'a> HeapView<'a> {
+    /// Wraps a scraped view with its page-coverage accounting.
+    pub fn new(
+        heap_start: VirtAddr,
+        view: ScrapeView<'a>,
+        pages_captured: usize,
+        pages_total: usize,
+    ) -> Self {
+        HeapView {
+            heap_start,
+            view,
+            pages_captured,
+            pages_total,
+        }
+    }
+
+    /// An empty view (zero-length heap), mirroring [`MemoryDump::empty`].
+    pub fn empty(heap_start: VirtAddr) -> Self {
+        HeapView {
+            heap_start,
+            view: ScrapeView::from_slice(&[]),
+            pages_captured: 0,
+            pages_total: 0,
+        }
+    }
+
+    /// Virtual address the view starts at (the victim's heap base).
+    pub fn heap_start(&self) -> VirtAddr {
+        self.heap_start
+    }
+
+    /// The underlying borrowed byte view.
+    pub fn view(&self) -> &ScrapeView<'a> {
+        &self.view
+    }
+
+    /// Length of the viewed heap in bytes.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// Returns `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// Number of pages actually captured from physical memory.
+    pub fn captured_pages(&self) -> usize {
+        self.pages_captured
+    }
+
+    /// Number of pages that could not be captured.
+    pub fn missing_pages(&self) -> usize {
+        self.pages_total - self.pages_captured
+    }
+
+    /// Fraction of pages captured, with the same convention as
+    /// [`MemoryDump::coverage`] (0.0 for an empty view).
+    pub fn coverage(&self) -> f64 {
+        if self.pages_total == 0 {
+            return 0.0;
+        }
+        self.pages_captured as f64 / self.pages_total as f64
+    }
+
+    /// Materializes the view into an owned [`MemoryDump`]-style byte buffer
+    /// (serialization, hexdump export — the cold paths).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.view.to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn page_of(byte: u8) -> Vec<u8> {
         vec![byte; PAGE_SIZE as usize]
+    }
+
+    #[test]
+    fn as_view_mirrors_the_owned_bytes() {
+        let dump =
+            MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), (0u8..=255).collect());
+        let view = dump.as_view();
+        assert_eq!(view.len(), dump.len());
+        assert_eq!(view.to_vec(), dump.as_bytes());
+    }
+
+    #[test]
+    fn heap_view_coverage_mirrors_memory_dump() {
+        let empty = HeapView::empty(VirtAddr::new(0x1000));
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.coverage(), 0.0);
+        assert_eq!(empty.heap_start(), VirtAddr::new(0x1000));
+
+        let backing = vec![7u8; 2 * PAGE_SIZE as usize];
+        let hv = HeapView::new(VirtAddr::new(0), ScrapeView::from_slice(&backing), 1, 2);
+        assert_eq!(hv.captured_pages(), 1);
+        assert_eq!(hv.missing_pages(), 1);
+        assert!((hv.coverage() - 0.5).abs() < 1e-9);
+        assert_eq!(hv.to_bytes(), backing);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use campaign::{
     Adversary, CampaignCell, CampaignReport, CampaignSpec, CampaignSummary, CellRecord, InputKind,
     StreamConfig,
 };
-pub use dump::MemoryDump;
+pub use dump::{HeapView, MemoryDump};
 pub use error::AttackError;
 pub use metrics::{AttackOutcome, StepTimings};
 pub use profile::{ModelProfile, ProfileDatabase, Profiler};

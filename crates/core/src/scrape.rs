@@ -2,10 +2,10 @@
 
 use petalinux_sim::Kernel;
 use xsdb::DebugSession;
-use zynq_dram::PAGE_SIZE;
+use zynq_dram::{ScrapeView, PAGE_SIZE};
 
 use crate::attack::ScrapeMode;
-use crate::dump::MemoryDump;
+use crate::dump::{HeapView, MemoryDump};
 use crate::error::AttackError;
 use crate::translate::HeapTranslation;
 
@@ -49,6 +49,120 @@ pub fn scrape_heap(
         }
         ScrapeMode::PerPage => scrape_per_page(debugger, kernel, translation),
     }
+}
+
+/// The zero-copy form of [`scrape_heap`]: borrows the victim's heap as a
+/// [`HeapView`] over the DRAM bank arenas instead of copying it out.
+///
+/// Returns `Ok(None)` when the board's remanence model forces an owned decay
+/// transform — callers then fall back to [`scrape_heap`].  When a view is
+/// returned, its bytes and coverage are identical to the owned dump the same
+/// mode would produce, and the debugger audit trail records the same
+/// `ReadPhys` operations.
+///
+/// [`ScrapeMode::BankStriped`] degenerates to the contiguous view: assembling
+/// a borrowed view is O(segments) with no byte copying, so there is nothing
+/// left to fan out across bank workers.
+///
+/// # Errors
+///
+/// Same conditions as [`scrape_heap`].
+pub fn scrape_heap_view<'k>(
+    debugger: &mut DebugSession,
+    kernel: &'k Kernel,
+    translation: &HeapTranslation,
+    mode: ScrapeMode,
+) -> Result<Option<HeapView<'k>>, AttackError> {
+    mode.validate()?;
+    if !kernel.zero_copy_reads_available() {
+        return Ok(None);
+    }
+    match mode {
+        ScrapeMode::ContiguousRange | ScrapeMode::BankStriped { .. } => {
+            scrape_contiguous_view(debugger, kernel, translation)
+        }
+        ScrapeMode::PerPage => scrape_per_page_view(debugger, kernel, translation),
+    }
+}
+
+fn scrape_contiguous_view<'k>(
+    debugger: &mut DebugSession,
+    kernel: &'k Kernel,
+    translation: &HeapTranslation,
+) -> Result<Option<HeapView<'k>>, AttackError> {
+    let start = translation
+        .phys_start()
+        .ok_or(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        })?;
+    let len = translation.heap_len() as usize;
+    if len == 0 {
+        return Ok(Some(HeapView::empty(translation.heap_start())));
+    }
+    // Same window-end clamp as the owned read; the unreadable tail is
+    // zero-padded with shared zero chunks.  The padding starts on a view-unit
+    // boundary: window end and heap start are page-aligned, and the unit
+    // divides the page size.
+    let window_end = kernel.config().dram().end();
+    let available = window_end.offset_from(start).min(len as u64);
+    let Some(mut view) = debugger.read_phys_view(kernel, start, available)? else {
+        return Ok(None);
+    };
+    view.push_zeros(len - available as usize);
+    // The owned contiguous dump records every page as captured (including a
+    // zero-padded tail); mirror that so coverage agrees.
+    let pages = len.div_ceil(PAGE_SIZE as usize);
+    Ok(Some(HeapView::new(
+        translation.heap_start(),
+        view,
+        pages,
+        pages,
+    )))
+}
+
+fn scrape_per_page_view<'k>(
+    debugger: &mut DebugSession,
+    kernel: &'k Kernel,
+    translation: &HeapTranslation,
+) -> Result<Option<HeapView<'k>>, AttackError> {
+    if translation.present_pages() == 0 {
+        return Err(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        });
+    }
+    // The view unit comes from the first captured page (it is a board
+    // constant), so gap pages ahead of it are buffered as a count and
+    // prepended once the unit is known.
+    let mut view: Option<ScrapeView<'k>> = None;
+    let mut leading_gaps = 0usize;
+    let mut captured = 0usize;
+    for page in translation.pages() {
+        match page {
+            Some(pa) => {
+                let Some(page_view) = debugger.read_phys_view(kernel, *pa, PAGE_SIZE)? else {
+                    return Ok(None);
+                };
+                captured += 1;
+                let stitched = view.get_or_insert_with(|| ScrapeView::with_unit(page_view.unit()));
+                if leading_gaps > 0 {
+                    stitched.push_zeros(leading_gaps * PAGE_SIZE as usize);
+                    leading_gaps = 0;
+                }
+                stitched.append(page_view);
+            }
+            None => match view.as_mut() {
+                Some(stitched) => stitched.push_zeros(PAGE_SIZE as usize),
+                None => leading_gaps += 1,
+            },
+        }
+    }
+    let view = view.expect("present_pages() > 0 guarantees at least one captured page");
+    Ok(Some(HeapView::new(
+        translation.heap_start(),
+        view,
+        captured,
+        translation.pages().len(),
+    )))
 }
 
 fn scrape_contiguous(
@@ -188,6 +302,110 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, AttackError::Channel(_)), "{err}");
+        assert!(err.to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn zero_copy_view_is_byte_identical_to_the_owned_dump_in_every_mode() {
+        let (kernel, _run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        for mode in [
+            ScrapeMode::ContiguousRange,
+            ScrapeMode::BankStriped { workers: 4 },
+            ScrapeMode::PerPage,
+        ] {
+            let dump = scrape_heap(&mut dbg, &kernel, &translation, mode).unwrap();
+            let heap = scrape_heap_view(&mut dbg, &kernel, &translation, mode)
+                .unwrap()
+                .expect("perfect remanence permits borrowed reads");
+            assert_eq!(heap.len(), dump.len(), "{mode}");
+            assert_eq!(heap.to_bytes(), dump.as_bytes(), "{mode}");
+            assert_eq!(heap.coverage(), dump.coverage(), "{mode}");
+            assert_eq!(heap.heap_start(), dump.heap_start(), "{mode}");
+            assert_eq!(heap.captured_pages(), dump.captured_pages(), "{mode}");
+            assert_eq!(heap.missing_pages(), dump.missing_pages(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn view_scrape_stitches_gap_pages_and_clamps_like_the_owned_path() {
+        let (kernel, _run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+
+        // Leading and interior gaps: pages 0 and 2 dropped.
+        let mut pages = translation.pages().to_vec();
+        pages[0] = None;
+        pages[2] = None;
+        let partial = HeapTranslation::from_parts(
+            translation.pid(),
+            translation.heap_start(),
+            translation.heap_end(),
+            pages,
+        );
+        let dump = scrape_heap(&mut dbg, &kernel, &partial, ScrapeMode::PerPage).unwrap();
+        let heap = scrape_heap_view(&mut dbg, &kernel, &partial, ScrapeMode::PerPage)
+            .unwrap()
+            .unwrap();
+        assert_eq!(heap.to_bytes(), dump.as_bytes());
+        assert_eq!(heap.missing_pages(), 2);
+        assert_eq!(heap.coverage(), dump.coverage());
+
+        // Window-end clamp: the unreadable tail reads as zero padding.
+        let near_end = kernel.config().dram().end() - PAGE_SIZE;
+        let clamped = HeapTranslation::from_parts(
+            Pid::new(77),
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x1000 + 4 * PAGE_SIZE),
+            vec![Some(near_end), None, None, None],
+        );
+        let dump = scrape_heap(&mut dbg, &kernel, &clamped, ScrapeMode::ContiguousRange).unwrap();
+        let heap = scrape_heap_view(&mut dbg, &kernel, &clamped, ScrapeMode::ContiguousRange)
+            .unwrap()
+            .unwrap();
+        assert_eq!(heap.len() as u64, 4 * PAGE_SIZE);
+        assert_eq!(heap.to_bytes(), dump.as_bytes());
+
+        // Zero-length heap mirrors the owned empty dump.
+        let empty = HeapTranslation::from_parts(
+            Pid::new(77),
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x1000),
+            vec![Some(kernel.config().dram().base())],
+        );
+        let heap = scrape_heap_view(&mut dbg, &kernel, &empty, ScrapeMode::ContiguousRange)
+            .unwrap()
+            .unwrap();
+        assert!(heap.is_empty());
+        assert_eq!(heap.coverage(), 0.0);
+    }
+
+    #[test]
+    fn view_scrape_declines_under_decaying_remanence() {
+        use zynq_dram::RemanenceModel;
+        let board = BoardConfig::tiny_for_tests().with_remanence(RemanenceModel::Exponential {
+            half_life_ticks: 1000,
+        });
+        let mut kernel = Kernel::boot(board);
+        let launched = DpuRunner::new(ModelKind::SqueezeNet)
+            .with_input(Image::corrupted(224, 224))
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let translation = capture_heap_translation(&mut dbg, &kernel, launched.pid()).unwrap();
+        launched.terminate(&mut kernel).unwrap();
+        for mode in [ScrapeMode::ContiguousRange, ScrapeMode::PerPage] {
+            assert!(scrape_heap_view(&mut dbg, &kernel, &translation, mode)
+                .unwrap()
+                .is_none());
+        }
+        // The invalid mode is still rejected ahead of the remanence gate.
+        let err = scrape_heap_view(
+            &mut dbg,
+            &kernel,
+            &translation,
+            ScrapeMode::BankStriped { workers: 0 },
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("zero workers"));
     }
 

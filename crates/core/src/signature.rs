@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use vitis_ai_sim::ModelKind;
+use zynq_dram::ScrapeView;
 
 use crate::dump::MemoryDump;
 
@@ -95,7 +96,13 @@ impl SignatureDb {
     ///
     /// Only models with at least one hit are returned.
     pub fn match_dump(&self, dump: &MemoryDump) -> Vec<ModelMatch> {
-        let bytes = dump.as_bytes();
+        self.match_view(&dump.as_view())
+    }
+
+    /// [`SignatureDb::match_dump`] over a borrowed [`ScrapeView`]: the
+    /// patterns are searched segment-wise without materializing the dump
+    /// (the dump form delegates here).
+    pub fn match_view(&self, view: &ScrapeView<'_>) -> Vec<ModelMatch> {
         let mut matches: Vec<ModelMatch> = self
             .signatures
             .iter()
@@ -103,7 +110,7 @@ impl SignatureDb {
                 let hits = sig
                     .patterns
                     .iter()
-                    .filter(|pattern| contains(bytes, pattern.as_bytes()))
+                    .filter(|pattern| view.contains_seq(pattern.as_bytes()))
                     .count();
                 ModelMatch {
                     model: sig.model,
@@ -126,19 +133,17 @@ impl SignatureDb {
     pub fn best_match(&self, dump: &MemoryDump) -> Option<ModelMatch> {
         self.match_dump(dump).into_iter().next()
     }
+
+    /// The single best match over a borrowed view, if any signature hit.
+    pub fn best_match_view(&self, view: &ScrapeView<'_>) -> Option<ModelMatch> {
+        self.match_view(view).into_iter().next()
+    }
 }
 
 impl Default for SignatureDb {
     fn default() -> Self {
         SignatureDb::standard()
     }
-}
-
-fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    if needle.is_empty() || needle.len() > haystack.len() {
-        return false;
-    }
-    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 #[cfg(test)]

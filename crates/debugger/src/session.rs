@@ -2,7 +2,7 @@
 
 use petalinux_sim::{Kernel, KernelError, Pid, Shell, UserId};
 use serde::{Deserialize, Serialize};
-use zynq_dram::PhysAddr;
+use zynq_dram::{PhysAddr, ScrapeView};
 use zynq_mmu::{pagemap, PagemapEntry, VirtAddr};
 
 use crate::audit::{AuditLog, DebugOp};
@@ -214,6 +214,29 @@ impl DebugSession {
             },
             result.is_ok(),
         );
+        result
+    }
+
+    /// Borrows `len` bytes of physical memory as a zero-copy view over the
+    /// DRAM bank arenas instead of copying them out.
+    ///
+    /// The audit trail is identical to [`DebugSession::read_phys_range`] —
+    /// the defender's monitor sees the same `ReadPhys` access pattern either
+    /// way.  `Ok(None)` means the board's remanence model forces an owned
+    /// read; callers fall back to the copying form.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DebugSession::read_phys_range`].
+    pub fn read_phys_view<'k>(
+        &mut self,
+        kernel: &'k Kernel,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<Option<ScrapeView<'k>>, KernelError> {
+        let result = self.shell.devmem_read_view(kernel, addr, len);
+        self.audit
+            .record(self.user, DebugOp::ReadPhys { addr, len }, result.is_ok());
         result
     }
 }

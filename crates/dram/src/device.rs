@@ -1,20 +1,32 @@
 //! The DRAM device: byte-accurate storage plus residue (ownership) tracking.
 //!
-//! # Bank-sharded backing store
+//! # Arena-backed bank shards
 //!
 //! Storage is sharded by DRAM bank: the window is cut into naturally aligned
 //! *bank stripes* (one DRAM row, [`DdrMapping::stripe_bytes`] bytes), each of
-//! which lives wholly inside one bank of the interleaved geometry, and every
-//! stripe is stored in the shard of the bank that owns it.  All accesses are
-//! split at bank boundaries and routed through the bank-local shards, which
-//! is what makes the bank-parallel paths ([`Dram::scrub_banks_parallel`],
-//! [`Dram::scrape_banks_parallel`]) safe: a worker that owns a disjoint set
-//! of bank shards can zero its stripes without synchronizing with the others.
+//! which lives wholly inside one bank of the interleaved geometry.  Each bank
+//! shard stores its stripes in a single contiguous **arena**: one lazily
+//! grown `Vec<u8>` slab indexed by the bank-local stripe *ordinal*
+//! ([`DdrGeometry::ordinal_of_stripe`](crate::config::DdrGeometry::ordinal_of_stripe)),
+//! plus a compact stripe-presence bitmap.  Stripe addressing is pure offset
+//! arithmetic — no per-stripe map lookups on any hot path — so bulk reads
+//! ([`Dram::read_bytes`], [`Dram::scrape_banks_parallel`]) collapse to
+//! straight `copy_from_slice` calls, scrubbing collapses to `fill` over a
+//! contiguous slab range per bank, and [`Dram::scrape_view`] can hand out
+//! *borrowed* zero-copy views of the arenas.  Sparse never-written regions
+//! still cost nothing: slabs grow from fresh zeroed (lazily committed)
+//! allocations, and stripes outside every slab span read as zero.
 //!
-//! The sharded store is observationally identical to the flat frame map it
-//! replaced — same bytes, same ownership transitions, same
-//! [`DramStats`] counters — which is pinned by the differential harness in
-//! `tests/dram_sharding_equivalence.rs`.
+//! All accesses are split at bank boundaries and routed through the
+//! bank-local shards, which is what makes the bank-parallel paths
+//! ([`Dram::scrub_banks_parallel`], [`Dram::scrape_banks_parallel`]) safe: a
+//! worker that owns a disjoint set of bank shards can zero its stripes
+//! without synchronizing with the others.
+//!
+//! The arena store is observationally identical to the flat frame map that
+//! preceded the sharded designs — same bytes, same ownership transitions,
+//! same [`DramStats`] counters — which is pinned by the differential harness
+//! in `tests/dram_sharding_equivalence.rs`.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -22,11 +34,12 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{FrameNumber, PhysAddr, PAGE_SIZE};
-use crate::config::DramConfig;
+use crate::config::{DdrGeometry, DramConfig};
 use crate::error::DramError;
 use crate::mapping::DdrMapping;
 use crate::remanence::{cell_hash, RemanenceModel, ResidueDecay};
 use crate::stats::DramStats;
+use crate::view::{zero_chunk, ScrapeView};
 
 /// Identifies the software entity (in practice: a process id) that owns the
 /// data stored in a frame.
@@ -72,17 +85,208 @@ pub struct FrameOwnership {
     pub live: bool,
 }
 
-/// One bank's shard of the backing store: the stripes of this bank that have
-/// been written at least once, keyed by global stripe index, plus the
-/// bank-local remanence decay state.
+/// One bank's shard of the backing store: a contiguous arena of this bank's
+/// stripes, indexed by bank-local stripe *ordinal*
+/// ([`DdrGeometry::ordinal_of_stripe`]), plus the bank-local remanence decay
+/// state.
+///
+/// The slab covers the ordinal span `[span_lo, span_lo + span)` and is grown
+/// (never shrunk) when a write lands outside it.  Growth allocates a *fresh*
+/// zeroed vector and copies the old slab over: fresh zeroed allocations come
+/// from the allocator as untouched, lazily committed pages, so a wide span
+/// over a sparsely written bank costs address space, not resident memory.
+/// Inside the span, stripe addressing is pure offset arithmetic:
+/// `(ordinal - span_lo) * stripe_bytes`.
 #[derive(Debug, Clone, Default)]
 struct BankShard {
-    stripes: HashMap<u64, Box<[u8]>>,
+    /// The bank's stripe arena, `span * stripe_bytes` bytes.
+    slab: Vec<u8>,
+    /// First stripe ordinal covered by the slab.
+    span_lo: u64,
+    /// Presence bitmap over the span: bit `i` means ordinal `span_lo + i`
+    /// has been *written* at least once.  Scrubs zero bytes but never clear
+    /// bits, mirroring the materialization semantics of the map-backed store
+    /// this arena replaced.
+    present: Vec<u64>,
+    /// Number of set bits in `present` (the per-bank utilization count).
+    present_count: usize,
     /// Remanence decay origins: for each decay granule (one DRAM row clipped
     /// to a frame — see [`Dram::decay_granule_bytes`]) of this bank currently
     /// holding residue, the logical tick at which its owner terminated.
     /// Empty — and never consulted — under [`RemanenceModel::Perfect`].
     decay_origins: HashMap<u64, u64>,
+}
+
+impl BankShard {
+    /// Number of stripes covered by the slab.
+    fn span(&self, sb: usize) -> u64 {
+        (self.slab.len() / sb) as u64
+    }
+
+    fn covers(&self, ordinal: u64, sb: usize) -> bool {
+        ordinal >= self.span_lo && ordinal - self.span_lo < self.span(sb)
+    }
+
+    /// Borrows the stripe at `ordinal` if the slab covers it.  Covered but
+    /// never-written stripes are all-zero, so reading them through the slab
+    /// is indistinguishable from the implicit zeros outside the span.
+    fn stripe(&self, ordinal: u64, sb: usize) -> Option<&[u8]> {
+        if !self.covers(ordinal, sb) {
+            return None;
+        }
+        let offset = (ordinal - self.span_lo) as usize * sb;
+        Some(&self.slab[offset..offset + sb])
+    }
+
+    /// Mutably borrows the stripe at `ordinal`, growing the slab to cover it
+    /// and marking it present (written at least once).
+    fn stripe_mut(&mut self, ordinal: u64, sb: usize, ordinal_bound: u64) -> &mut [u8] {
+        self.ensure_covers(ordinal, sb, ordinal_bound);
+        let index = (ordinal - self.span_lo) as usize;
+        let word = &mut self.present[index / 64];
+        let bit = 1u64 << (index % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.present_count += 1;
+        }
+        let offset = index * sb;
+        &mut self.slab[offset..offset + sb]
+    }
+
+    fn ensure_covers(&mut self, ordinal: u64, sb: usize, ordinal_bound: u64) {
+        let span = self.span(sb);
+        if span == 0 {
+            self.span_lo = ordinal;
+            self.slab = vec![0u8; sb];
+            self.present = vec![0u64; 1];
+            return;
+        }
+        if self.covers(ordinal, sb) {
+            return;
+        }
+        // Geometric over-growth on the side being extended, so a sweep of
+        // scattered writes costs O(log n) reallocations, clamped to the
+        // ordinals the window can actually produce.
+        let mut new_lo = self.span_lo;
+        let mut new_hi = self.span_lo + span;
+        if ordinal < self.span_lo {
+            new_lo = ordinal.saturating_sub(span);
+        } else {
+            new_hi = (ordinal + 1)
+                .saturating_add(span)
+                .min(ordinal_bound)
+                .max(ordinal + 1);
+        }
+        self.grow(new_lo, new_hi, sb);
+    }
+
+    /// Reallocates the slab to cover `[new_lo, new_hi)`: a fresh zeroed
+    /// allocation with the old contents (and presence bits) shifted in.
+    fn grow(&mut self, new_lo: u64, new_hi: u64, sb: usize) {
+        let old_span = self.span(sb) as usize;
+        let new_span = (new_hi - new_lo) as usize;
+        let shift = (self.span_lo - new_lo) as usize;
+        let mut slab = vec![0u8; new_span * sb];
+        slab[shift * sb..shift * sb + self.slab.len()].copy_from_slice(&self.slab);
+        let mut present = vec![0u64; new_span.div_ceil(64)];
+        for index in 0..old_span {
+            if self.present[index / 64] >> (index % 64) & 1 == 1 {
+                let moved = index + shift;
+                present[moved / 64] |= 1 << (moved % 64);
+            }
+        }
+        self.slab = slab;
+        self.present = present;
+        self.span_lo = new_lo;
+    }
+
+    /// Zeroes the covered intersection of ordinals `[lo, hi)` with the span
+    /// in one contiguous slab `fill` — the arena's collapsed scrub.
+    fn zero_ordinals(&mut self, lo: u64, hi: u64, sb: usize) {
+        let from = lo.max(self.span_lo);
+        let to = hi.min(self.span_lo + self.span(sb));
+        if from >= to {
+            return;
+        }
+        let a = (from - self.span_lo) as usize * sb;
+        let b = (to - self.span_lo) as usize * sb;
+        self.slab[a..b].fill(0);
+    }
+
+    /// Zeroes bytes `[from, to)` within the stripe at `ordinal`, if covered
+    /// (absent stripes are already zero and are not materialized).
+    fn zero_partial(&mut self, ordinal: u64, from: usize, to: usize, sb: usize) {
+        if !self.covers(ordinal, sb) {
+            return;
+        }
+        let offset = (ordinal - self.span_lo) as usize * sb;
+        self.slab[offset + from..offset + to].fill(0);
+    }
+}
+
+/// Zeroes the intersection of window offsets `[rel_start, rel_end)` with one
+/// bank's arena: the partially covered head/tail stripes individually, and
+/// every fully covered stripe as part of a single contiguous
+/// ordinal-interval `fill`.  For a fixed bank the stripes of a window range
+/// occupy one contiguous ordinal interval
+/// ([`DdrGeometry::stripe_of_ordinal`] is strictly increasing per bank), so
+/// the interval endpoints are found by binary search.
+fn scrub_shard_range(
+    shard: &mut BankShard,
+    geometry: &DdrGeometry,
+    bank_id: u64,
+    sb: u64,
+    rel_start: u64,
+    rel_end: u64,
+    ordinal_bound: u64,
+) {
+    let sbu = sb as usize;
+    let head = rel_start / sb;
+    let head_end = ((head + 1) * sb).min(rel_end);
+    if (!rel_start.is_multiple_of(sb) || head_end < (head + 1) * sb)
+        && geometry.bank_of_stripe(head) == bank_id
+    {
+        shard.zero_partial(
+            geometry.ordinal_of_stripe(head),
+            (rel_start - head * sb) as usize,
+            (head_end - head * sb) as usize,
+            sbu,
+        );
+    }
+    let tail = (rel_end - 1) / sb;
+    if !rel_end.is_multiple_of(sb) && tail != head && geometry.bank_of_stripe(tail) == bank_id {
+        shard.zero_partial(
+            geometry.ordinal_of_stripe(tail),
+            0,
+            (rel_end - tail * sb) as usize,
+            sbu,
+        );
+    }
+    let first_full = rel_start.div_ceil(sb);
+    let end_full = rel_end / sb;
+    if first_full >= end_full {
+        return;
+    }
+    let lo = ordinal_lower_bound(geometry, bank_id, first_full, ordinal_bound);
+    let hi = ordinal_lower_bound(geometry, bank_id, end_full, ordinal_bound);
+    shard.zero_ordinals(lo, hi, sbu);
+}
+
+/// Smallest ordinal `o` in `[0, bound)` with
+/// `stripe_of_ordinal(bank_id, o) >= stripe`, or `bound` when none exists
+/// (valid because the stripe index is strictly increasing in the ordinal for
+/// a fixed bank).
+fn ordinal_lower_bound(geometry: &DdrGeometry, bank_id: u64, stripe: u64, bound: u64) -> u64 {
+    let (mut lo, mut hi) = (0u64, bound);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if geometry.stripe_of_ordinal(bank_id, mid) < stripe {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// The simulated DRAM device.
@@ -110,8 +314,11 @@ pub struct Dram {
     config: DramConfig,
     /// Bytes per bank stripe (one DRAM row); every stripe lives in one bank.
     stripe_bytes: u64,
-    /// One shard per (rank, bank group, bank), indexed by flat bank id.
+    /// One arena shard per (rank, bank group, bank), indexed by flat bank id.
     banks: Vec<BankShard>,
+    /// Exclusive upper bound of the stripe ordinals the window can produce
+    /// (identical for every bank); clamps geometric slab growth.
+    ordinal_bound: u64,
     /// Frames that have been materialized (written at least once).
     materialized: HashSet<u64>,
     ownership: HashMap<u64, FrameOwnership>,
@@ -132,10 +339,19 @@ impl Dram {
     pub fn new(config: DramConfig) -> Self {
         let mapping = DdrMapping::new(config);
         let bank_count = mapping.bank_count() as usize;
+        let geometry = config.geometry();
+        // Upper-bound the ordinals reachable from the window: the last
+        // stripe's overflow bits cap the wrap count, and within one wrap the
+        // row bits cap the ordinal.
+        let last_stripe = (config.capacity() - 1) / mapping.stripe_bytes();
+        let wrap_shift =
+            geometry.bank_group_bits + geometry.bank_bits + geometry.row_bits + geometry.rank_bits;
+        let ordinal_bound = ((last_stripe >> wrap_shift) + 1) << geometry.row_bits;
         Dram {
             config,
             stripe_bytes: mapping.stripe_bytes(),
             banks: vec![BankShard::default(); bank_count],
+            ordinal_bound,
             materialized: HashSet::new(),
             ownership: HashMap::new(),
             stats: DramStats::default(),
@@ -208,12 +424,23 @@ impl Dram {
     /// by flat bank id (the store-utilization view the `--banks` experiment
     /// table reports).
     pub fn bank_stripe_counts(&self) -> Vec<usize> {
-        self.banks.iter().map(|b| b.stripes.len()).collect()
+        self.banks.iter().map(|b| b.present_count).collect()
     }
 
     /// Total number of materialized bank stripes across all shards.
     pub fn materialized_stripes(&self) -> usize {
-        self.banks.iter().map(|b| b.stripes.len()).sum()
+        self.banks.iter().map(|b| b.present_count).sum()
+    }
+
+    /// Total bytes of slab address space reserved across all bank arenas.
+    ///
+    /// This measures the *virtual* extent of the ordinal spans — growth
+    /// allocates fresh zeroed (lazily committed) memory, so the resident
+    /// cost tracks the bytes actually written — and is what the sparse-window
+    /// equivalence test pins as proportional to the touched region rather
+    /// than the window size.
+    pub fn arena_bytes(&self) -> u64 {
+        self.banks.iter().map(|b| b.slab.len() as u64).sum()
     }
 
     fn frame_index(&self, addr: PhysAddr) -> u64 {
@@ -228,19 +455,22 @@ impl Dram {
     }
 
     fn stripe(&self, stripe: u64) -> Option<&[u8]> {
-        self.banks[self.stripe_bank(stripe)]
-            .stripes
-            .get(&stripe)
-            .map(|b| &b[..])
+        let geometry = self.config.geometry();
+        self.banks[geometry.bank_of_stripe(stripe) as usize].stripe(
+            geometry.ordinal_of_stripe(stripe),
+            self.stripe_bytes as usize,
+        )
     }
 
     fn stripe_mut(&mut self, stripe: u64) -> &mut [u8] {
-        let bank = self.stripe_bank(stripe);
-        let bytes = self.stripe_bytes as usize;
-        self.banks[bank]
-            .stripes
-            .entry(stripe)
-            .or_insert_with(|| vec![0u8; bytes].into_boxed_slice())
+        let geometry = self.config.geometry();
+        let sb = self.stripe_bytes as usize;
+        let bound = self.ordinal_bound;
+        self.banks[geometry.bank_of_stripe(stripe) as usize].stripe_mut(
+            geometry.ordinal_of_stripe(stripe),
+            sb,
+            bound,
+        )
     }
 
     /// Bytes per decay granule: one DRAM row clipped to a frame.  Residue
@@ -523,6 +753,66 @@ impl Dram {
         Ok(())
     }
 
+    /// `true` when [`Dram::scrape_view`] will hand out borrowed views —
+    /// i.e. the remanence model is perfect, so reads need no owned decay
+    /// transform.  Callers use this to pick the zero-copy path up front
+    /// without issuing a speculative read.
+    pub fn supports_borrowed_reads(&self) -> bool {
+        self.remanence.is_perfect()
+    }
+
+    /// Borrows a zero-copy [`ScrapeView`] of `[addr, addr + len)` straight
+    /// out of the bank arenas: no bytes are copied, and regions outside
+    /// every slab span alias a shared static zero chunk.
+    ///
+    /// Returns `Ok(None)` when the remanence model is not
+    /// [`RemanenceModel::Perfect`]: decayed reads must materialize an owned
+    /// transform of the residue, so callers fall back to
+    /// [`Dram::read_bytes`].  Under the perfect model the view is
+    /// byte-identical to [`Dram::read_bytes`] over the same range.
+    pub fn scrape_view(
+        &self,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<Option<ScrapeView<'_>>, DramError> {
+        self.check_range(addr, len)?;
+        if !self.remanence.is_perfect() {
+            return Ok(None);
+        }
+        let unit = self.stripe_bytes.min(PAGE_SIZE);
+        let mut view = ScrapeView::with_unit(unit as usize);
+        let rel = addr.offset_from(self.config.base());
+        // Partial head up to the next unit boundary.  Units never straddle a
+        // stripe: the unit divides the stripe size (both are powers of two,
+        // unit the smaller) and the window base is page-aligned.
+        let mut cursor = 0u64;
+        if !rel.is_multiple_of(unit) {
+            let head_len = (unit - rel % unit).min(len);
+            view.set_head(self.unit_slice(rel, head_len as usize));
+            cursor = head_len;
+        }
+        while cursor < len {
+            let chunk = unit.min(len - cursor) as usize;
+            view.push_chunk(self.unit_slice(rel + cursor, chunk));
+            cursor += chunk as u64;
+        }
+        Ok(Some(view))
+    }
+
+    /// A borrowed `len`-byte slice at window offset `rel`; the caller
+    /// guarantees the range lies inside one unit (hence one stripe).  Absent
+    /// stripes alias the shared zero chunk.
+    fn unit_slice(&self, rel: u64, len: usize) -> &[u8] {
+        let sb = self.stripe_bytes;
+        match self.stripe(rel / sb) {
+            Some(stripe) => {
+                let offset = (rel % sb) as usize;
+                &stripe[offset..offset + len]
+            }
+            None => zero_chunk(len),
+        }
+    }
+
     fn tag_frame(&mut self, idx: u64, owner: OwnerTag) {
         self.ownership
             .insert(idx, FrameOwnership { owner, live: true });
@@ -688,21 +978,44 @@ impl Dram {
     }
 
     /// Zeroes the covered slices of every *materialized* stripe in
-    /// `[addr, addr + len)`; absent stripes are already zero.
+    /// `[addr, addr + len)`; stripes outside every slab span are already
+    /// zero.  Small ranges walk their few stripes directly (O(1) offset
+    /// arithmetic each); large ranges collapse to one contiguous slab `fill`
+    /// per bank over the fully covered interior.
     fn zero_stripes(&mut self, addr: PhysAddr, len: u64) {
-        let base = self.config.base();
         let sb = self.stripe_bytes;
-        let mut cursor = 0u64;
-        while cursor < len {
-            let rel = (addr + cursor).offset_from(base);
-            let offset = (rel % sb) as usize;
-            let chunk = ((sb - offset as u64).min(len - cursor)) as usize;
-            let stripe = rel / sb;
-            let bank = self.stripe_bank(stripe);
-            if let Some(buf) = self.banks[bank].stripes.get_mut(&stripe) {
-                buf[offset..offset + chunk].fill(0);
+        let rel_start = addr.offset_from(self.config.base());
+        let rel_end = rel_start + len;
+        let geometry = self.config.geometry();
+        let stripes = rel_end.div_ceil(sb) - rel_start / sb;
+        if stripes <= 2 * self.banks.len() as u64 {
+            let mut cursor = 0u64;
+            while cursor < len {
+                let rel = rel_start + cursor;
+                let offset = (rel % sb) as usize;
+                let chunk = ((sb - offset as u64).min(len - cursor)) as usize;
+                let stripe = rel / sb;
+                self.banks[geometry.bank_of_stripe(stripe) as usize].zero_partial(
+                    geometry.ordinal_of_stripe(stripe),
+                    offset,
+                    offset + chunk,
+                    sb as usize,
+                );
+                cursor += chunk as u64;
             }
-            cursor += chunk as u64;
+            return;
+        }
+        let bound = self.ordinal_bound;
+        for (bank_id, shard) in self.banks.iter_mut().enumerate() {
+            scrub_shard_range(
+                shard,
+                &geometry,
+                bank_id as u64,
+                sb,
+                rel_start,
+                rel_end,
+                bound,
+            );
         }
     }
 
@@ -786,10 +1099,10 @@ impl Dram {
         } else {
             let sb = self.stripe_bytes;
             let base = self.config.base();
-            let first_stripe = addr.offset_from(base) / sb;
-            let last_stripe = (addr + (len - 1)).offset_from(base) / sb;
             let rel_start = addr.offset_from(base);
             let rel_end = rel_start + len;
+            let geometry = self.config.geometry();
+            let bound = self.ordinal_bound;
             let banks_per_worker = self.banks.len().div_ceil(workers);
             // chunks_mut can produce fewer blocks than requested workers when
             // the bank count does not divide evenly; telemetry records the
@@ -797,22 +1110,23 @@ impl Dram {
             let spawned = self.banks.len().div_ceil(banks_per_worker);
 
             std::thread::scope(|scope| {
-                for shard_block in self.banks.chunks_mut(banks_per_worker) {
+                for (block, shard_block) in self.banks.chunks_mut(banks_per_worker).enumerate() {
+                    let first_bank = block * banks_per_worker;
                     scope.spawn(move || {
-                        // Each shard holds only its own bank's stripes, so a
-                        // worker just walks the materialized stripes of its
-                        // block and zeroes the covered slices — O(materialized
-                        // stripes), no per-stripe bank arithmetic.
-                        for shard in shard_block {
-                            for (&stripe, buf) in shard.stripes.iter_mut() {
-                                if stripe < first_stripe || stripe > last_stripe {
-                                    continue;
-                                }
-                                let stripe_start = stripe * sb;
-                                let from = rel_start.max(stripe_start) - stripe_start;
-                                let to = rel_end.min(stripe_start + sb) - stripe_start;
-                                buf[from as usize..to as usize].fill(0);
-                            }
+                        // Each shard arena holds only its own bank's stripes,
+                        // so a worker zeroes the covered slab ranges of its
+                        // block — one contiguous fill per bank for the fully
+                        // covered interior, plus the clipped edge stripes.
+                        for (i, shard) in shard_block.iter_mut().enumerate() {
+                            scrub_shard_range(
+                                shard,
+                                &geometry,
+                                (first_bank + i) as u64,
+                                sb,
+                                rel_start,
+                                rel_end,
+                                bound,
+                            );
                         }
                     });
                 }
@@ -1307,6 +1621,65 @@ mod tests {
         let mut tiny = vec![0u8; 10];
         d.scrape_banks_parallel(base + 5, &mut tiny, 64).unwrap();
         assert_eq!(tiny, serial[5..15]);
+    }
+
+    #[test]
+    fn scrape_view_is_byte_identical_to_read_bytes() {
+        let mut d = dram();
+        let base = d.config().base();
+        let data: Vec<u8> = (0..6 * PAGE_SIZE + 991).map(|i| (i % 255) as u8).collect();
+        d.write_bytes(base + 17, &data, OwnerTag::new(3)).unwrap();
+        let cases = [
+            (0u64, 8 * PAGE_SIZE),
+            (5, 3),
+            (17, 4 * PAGE_SIZE + 100),
+            (PAGE_SIZE - 1, 2),
+            (123, 0),
+        ];
+        for (start, len) in cases {
+            let mut owned = vec![0u8; len as usize];
+            d.read_bytes(base + start, &mut owned).unwrap();
+            let view = d.scrape_view(base + start, len).unwrap().unwrap();
+            assert_eq!(view.len() as u64, len);
+            assert_eq!(view.to_vec(), owned, "start={start} len={len}");
+        }
+        // The same range checks as the owned read apply.
+        assert!(matches!(
+            d.scrape_view(d.config().end(), 1),
+            Err(DramError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn scrape_view_declines_under_decaying_remanence() {
+        let mut d = dram();
+        d.set_remanence(RemanenceModel::Exponential { half_life_ticks: 2 });
+        let base = d.config().base();
+        assert!(d.scrape_view(base, PAGE_SIZE).unwrap().is_none());
+        d.set_remanence(RemanenceModel::Perfect);
+        assert!(d.scrape_view(base, PAGE_SIZE).unwrap().is_some());
+    }
+
+    #[test]
+    fn arena_memory_is_proportional_to_touched_stripes() {
+        // A dense 64 KiB island in the 16 MiB window: the per-bank slabs
+        // must cover (a slack multiple of) the island, not the window.
+        let mut d = dram();
+        let base = d.config().base();
+        let island = 64 * 1024u64;
+        d.fill(base + 4 * 1024 * 1024, island, 0xEE, OwnerTag::new(1))
+            .unwrap();
+        let arena = d.arena_bytes();
+        assert!(arena >= island, "slabs must cover the written bytes");
+        assert!(
+            arena < d.config().capacity() / 16,
+            "arena ({arena} B) must stay proportional to the touched region"
+        );
+        assert_eq!(
+            d.materialized_stripes() as u64,
+            island / d.stripe_bytes(),
+            "presence counts exactly the written stripes"
+        );
     }
 
     /// A device with decaying remanence, a retired victim and a live

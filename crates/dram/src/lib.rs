@@ -6,11 +6,14 @@
 //! FPGAs: Private Data Extraction from Terminated Processes"* (DATE 2024):
 //!
 //! - a byte-accurate, sparsely backed physical memory ([`Dram`]) whose
-//!   backing store is **sharded by DRAM bank**: requests are split at bank
-//!   boundaries and routed to per-bank shards, and the bank-parallel
+//!   backing store is **sharded by DRAM bank into contiguous arenas**: one
+//!   lazily grown slab plus stripe-presence bitmap per bank, so stripe
+//!   addressing is pure offset arithmetic.  Requests are split at bank
+//!   boundaries and routed to the per-bank arenas; the bank-parallel
 //!   [`Dram::scrub_banks_parallel`] / [`Dram::scrape_banks_parallel`] paths
-//!   fan work across those shards while staying byte-identical to the
-//!   sequential operations,
+//!   fan work across them while staying byte-identical to the sequential
+//!   operations, and [`Dram::scrape_view`] borrows **zero-copy**
+//!   [`ScrapeView`]s straight out of the slabs,
 //! - the DDR address interleaving used by the memory controller
 //!   ([`mapping::DdrMapping`]), so row/bank-granular sanitization schemes
 //!   (RowClone, RowReset) can be modelled faithfully,
@@ -52,6 +55,7 @@ pub mod mapping;
 pub mod remanence;
 pub mod sanitize;
 pub mod stats;
+pub mod view;
 
 pub use addr::{FrameNumber, PhysAddr, PAGE_SIZE};
 pub use config::DramConfig;
@@ -61,3 +65,4 @@ pub use mapping::{BankChunk, DdrCoordinates, DdrMapping};
 pub use remanence::{RemanenceModel, ResidueDecay};
 pub use sanitize::{SanitizeCost, SanitizePolicy, ScrubReport};
 pub use stats::DramStats;
+pub use view::ScrapeView;

@@ -738,5 +738,83 @@ mod tests {
                 prop_assert_eq!(chunks.len() as u64, expected);
             }
         }
+
+        /// The arena addressing the bank shards use is pinned to the DDR
+        /// mapping: every in-window address lands in exactly one bank slab
+        /// at exactly one offset.  The (bank, ordinal) pair roundtrips to
+        /// the stripe the mapping routes the address to, same-bank ordinals
+        /// are dense (no slab byte is shared or skipped), and the bank
+        /// agrees with the coordinate-level decomposition.
+        #[test]
+        fn prop_every_address_lands_in_exactly_one_arena_slot(raw in any::<u64>()) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let g = cfg.geometry();
+                let sb = m.stripe_bytes();
+                let addr = cfg.base() + raw % cfg.capacity();
+                let stripe = addr.offset_from(cfg.base()) / sb;
+                let bank = g.bank_of_stripe(stripe);
+                let ordinal = g.ordinal_of_stripe(stripe);
+                prop_assert_eq!(bank, m.bank_of(addr).unwrap(), "config {:?}", cfg.board());
+                prop_assert_eq!(g.stripe_of_ordinal(bank, ordinal), stripe);
+                // Ordinals are dense per bank: the next ordinal names the
+                // next stripe of the same bank, and no stripe in between
+                // belongs to this bank.
+                let next = g.stripe_of_ordinal(bank, ordinal + 1);
+                prop_assert!(next > stripe);
+                prop_assert_eq!(g.bank_of_stripe(next), bank);
+                prop_assert_eq!(g.ordinal_of_stripe(next), ordinal + 1);
+                if next - stripe <= 256 {
+                    for between in (stripe + 1)..next {
+                        prop_assert!(g.bank_of_stripe(between) != bank);
+                    }
+                }
+            }
+        }
+
+        /// Bank-chunk splits re-concatenate losslessly into arena terms:
+        /// every chunk occupies one contiguous slab-offset range of its
+        /// bank's arena, and across the whole split each byte of the range
+        /// claims exactly one (bank, slab offset) slot.
+        #[test]
+        fn prop_bank_chunks_map_to_disjoint_arena_ranges(raw in any::<u64>(), span in 1u64..(64 * 1024)) {
+            for cfg in all_board_configs() {
+                let m = DdrMapping::new(cfg);
+                let g = cfg.geometry();
+                let sb = m.stripe_bytes();
+                let len = span.min(cfg.capacity());
+                let addr = cfg.base() + raw % (cfg.capacity() - len + 1);
+                let chunks = m.split_at_bank_boundaries(addr, len).unwrap();
+                // Per bank: the covered slab ranges, as (start, end) offsets.
+                let mut ranges: std::collections::HashMap<u64, Vec<(u64, u64)>> =
+                    std::collections::HashMap::new();
+                let mut covered = 0u64;
+                for chunk in &chunks {
+                    let rel = chunk.addr.offset_from(cfg.base());
+                    prop_assert_eq!(rel / sb, chunk.stripe);
+                    prop_assert_eq!(g.bank_of_stripe(chunk.stripe), chunk.bank);
+                    // Within a stripe, slab offsets advance densely with the
+                    // address, so the chunk is one contiguous slab range.
+                    let slab_start = g.ordinal_of_stripe(chunk.stripe) * sb + rel % sb;
+                    ranges
+                        .entry(chunk.bank)
+                        .or_default()
+                        .push((slab_start, slab_start + chunk.len));
+                    covered += chunk.len;
+                }
+                prop_assert_eq!(covered, len, "chunks cover the range exactly");
+                for (bank, mut bank_ranges) in ranges {
+                    bank_ranges.sort_unstable();
+                    for pair in bank_ranges.windows(2) {
+                        prop_assert!(
+                            pair[0].1 <= pair[1].0,
+                            "bank {} slab ranges overlap: {:?}",
+                            bank,
+                            pair
+                        );
+                    }
+                }
+            }
+        }
     }
 }

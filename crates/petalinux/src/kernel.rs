@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use zynq_dram::{sanitize, Dram, FrameNumber, PhysAddr, SanitizePolicy, ScrubReport};
+use zynq_dram::{sanitize, Dram, FrameNumber, PhysAddr, SanitizePolicy, ScrapeView, ScrubReport};
 use zynq_mmu::{
     AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, VirtAddr, VmaKind,
 };
@@ -424,6 +424,31 @@ impl Kernel {
     /// Propagates DRAM range errors.
     pub fn read_physical_bytes(&self, addr: PhysAddr, buf: &mut [u8]) -> Result<(), KernelError> {
         Ok(self.dram.read_bytes(addr, buf)?)
+    }
+
+    /// `true` when [`Kernel::read_physical_view`] will hand out borrowed
+    /// views (the DRAM remanence model needs no owned decay transform), so
+    /// scrapers can pick the zero-copy path without a speculative read.
+    pub fn zero_copy_reads_available(&self) -> bool {
+        self.dram.supports_borrowed_reads()
+    }
+
+    /// Borrows a zero-copy view of physical memory straight out of the DRAM
+    /// bank arenas ([`zynq_dram::Dram::scrape_view`]).
+    ///
+    /// Returns `Ok(None)` when the remanence model requires an owned decay
+    /// transform; callers then fall back to [`Kernel::read_physical_bytes`].
+    /// When a view is returned it is byte-identical to that owned read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range errors.
+    pub fn read_physical_view(
+        &self,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<Option<ScrapeView<'_>>, KernelError> {
+        Ok(self.dram.scrape_view(addr, len)?)
     }
 
     /// Reads raw bytes from physical memory with the read fanned across

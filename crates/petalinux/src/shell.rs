@@ -6,7 +6,7 @@
 //! policy cross-user `/proc` reads and non-root `devmem` fail with
 //! [`KernelError::PermissionDenied`].
 
-use zynq_dram::PhysAddr;
+use zynq_dram::{PhysAddr, ScrapeView};
 use zynq_mmu::VirtAddr;
 
 use crate::error::KernelError;
@@ -165,6 +165,24 @@ impl Shell {
         let mut buf = vec![0u8; len];
         kernel.read_physical_bytes_parallel(addr, &mut buf, workers)?;
         Ok(buf)
+    }
+
+    /// The zero-copy form of [`Shell::devmem_read_bytes`]: borrows the range
+    /// straight out of the DRAM bank arenas instead of copying it.  Same
+    /// permission check; `Ok(None)` when the remanence model forces an owned
+    /// read (callers then fall back to the copying form).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Shell::devmem_read_bytes`].
+    pub fn devmem_read_view<'k>(
+        &self,
+        kernel: &'k Kernel,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<Option<ScrapeView<'k>>, KernelError> {
+        self.check_devmem(kernel)?;
+        kernel.read_physical_view(addr, len)
     }
 }
 

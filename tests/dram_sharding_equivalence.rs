@@ -402,6 +402,63 @@ fn a_second_seed_hits_different_interleavings() {
 }
 
 #[test]
+fn sparse_windows_keep_arena_memory_proportional_to_touched_stripes() {
+    // A small write cluster deep inside an otherwise untouched window: the
+    // arena store must stay byte-identical to the flat reference while its
+    // slab footprint tracks the touched stripes, not the window span.
+    for (name, config) in harness_configs() {
+        let mut flat = FlatDram::new(config);
+        let mut arena = Dram::new(config);
+        let owner = OwnerTag::new(42);
+        let sb = config.geometry().row_bytes();
+        let base = config.base();
+        let capacity = config.capacity();
+
+        // Two islands of two stripes each, a few stripes apart, at ~3/4 of
+        // the window (nowhere near the slabs' natural starting point).
+        let island = 2 * sb;
+        let first = (3 * capacity / 4 / sb) * sb;
+        let second = first + 8 * sb;
+        assert!(second + island <= capacity, "{name}: window too small");
+        let mut rng = 0xA12A_0007u64;
+        for offset in [first, second] {
+            let data: Vec<u8> = (0..island).map(|_| splitmix64(&mut rng) as u8).collect();
+            flat.write_bytes(base + offset, &data, owner).unwrap();
+            arena.write_bytes(base + offset, &data, owner).unwrap();
+        }
+
+        // Byte identity over the islands, their surroundings, and cold
+        // regions far away at both ends of the window.
+        let probe_len = (12 * sb).min(capacity) as usize;
+        for probe in [0, first.saturating_sub(sb), capacity - probe_len as u64] {
+            let mut a = vec![0u8; probe_len];
+            let mut b = vec![0u8; probe_len];
+            flat.read_bytes(base + probe, &mut a).unwrap();
+            arena.read_bytes(base + probe, &mut b).unwrap();
+            assert_eq!(a, b, "{name}: probe at +{probe:#x}");
+        }
+
+        // Footprint: exactly the touched stripes are materialized, the
+        // slabs cover them, and the total arena extent stays a small
+        // multiple of the touched cluster — far below the window capacity.
+        let touched = 2 * island / sb;
+        assert_eq!(arena.materialized_stripes() as u64, touched, "{name}");
+        assert!(
+            arena.arena_bytes() >= touched * sb,
+            "{name}: slabs must cover the touched stripes"
+        );
+        assert!(
+            arena.arena_bytes() <= capacity / 8,
+            "{name}: arena {} bytes for {} touched stripes of {} bytes in a {} byte window",
+            arena.arena_bytes(),
+            touched,
+            sb,
+            capacity
+        );
+    }
+}
+
+#[test]
 fn rejected_operations_leave_all_stores_untouched() {
     let config = DramConfig::tiny_for_tests();
     let mut flat = FlatDram::new(config);

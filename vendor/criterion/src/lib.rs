@@ -31,13 +31,18 @@ pub enum Throughput {
 /// Top-level harness state. One per bench binary.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
 }
 
 impl Criterion {
-    /// Accepts (and ignores) CLI configuration, mirroring the real API.
-    /// Cargo passes `--bench` to bench binaries; there is nothing to parse.
-    pub fn configure_from_args(self) -> Self {
+    /// Parses the CLI configuration this stand-in understands, mirroring the
+    /// real API.  Cargo passes `--bench` (and a filter string) to bench
+    /// binaries; the only flag acted on is `--quick`, which shrinks the
+    /// warm-up/measurement budgets and sample count so a full bench binary
+    /// finishes in seconds — the CI smoke configuration.  Everything else is
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.quick = std::env::args().any(|arg| arg == "--quick");
         self
     }
 
@@ -45,14 +50,22 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== group: {name}");
-        BenchmarkGroup {
+        let quick = self.quick;
+        let mut group = BenchmarkGroup {
             name,
             warm_up_time: Duration::from_millis(500),
             measurement_time: Duration::from_secs(2),
             sample_size: 10,
+            quick,
             throughput: None,
             _criterion: self,
+        };
+        if quick {
+            group.warm_up_time = QUICK_WARM_UP;
+            group.measurement_time = QUICK_MEASUREMENT;
+            group.sample_size = QUICK_SAMPLE_SIZE;
         }
+        group
     }
 
     /// Runs a standalone benchmark outside any group.
@@ -71,32 +84,54 @@ impl Criterion {
     pub fn final_summary(&self) {}
 }
 
+/// Quick-mode (`--quick`) budgets: enough to exercise every routine and
+/// produce order-of-magnitude numbers, small enough that a whole bench
+/// binary smokes through in seconds.
+const QUICK_WARM_UP: Duration = Duration::from_millis(50);
+const QUICK_MEASUREMENT: Duration = Duration::from_millis(200);
+const QUICK_SAMPLE_SIZE: usize = 3;
+
 /// A named set of benchmarks sharing timing configuration.
 pub struct BenchmarkGroup<'a> {
     name: String,
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    quick: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the target total measurement time across all samples.
+    /// Sets the target total measurement time across all samples.  Under
+    /// `--quick` the request is capped at the quick budget, so per-group
+    /// tuning in the bench sources cannot re-inflate a smoke run.
     pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
-        self.measurement_time = dur;
+        self.measurement_time = if self.quick {
+            dur.min(QUICK_MEASUREMENT)
+        } else {
+            dur
+        };
         self
     }
 
-    /// Sets the warm-up / calibration time.
+    /// Sets the warm-up / calibration time (capped under `--quick`).
     pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
-        self.warm_up_time = dur;
+        self.warm_up_time = if self.quick {
+            dur.min(QUICK_WARM_UP)
+        } else {
+            dur
+        };
         self
     }
 
-    /// Sets how many timing samples to collect.
+    /// Sets how many timing samples to collect (capped under `--quick`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.quick {
+            n.clamp(1, QUICK_SAMPLE_SIZE)
+        } else {
+            n.max(1)
+        };
         self
     }
 
@@ -252,6 +287,29 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0, "routine should have been exercised");
+    }
+
+    #[test]
+    fn quick_mode_caps_per_group_tuning() {
+        let mut criterion = Criterion { quick: true };
+        let mut group = criterion.benchmark_group("quick");
+        assert_eq!(group.warm_up_time, QUICK_WARM_UP);
+        assert_eq!(group.measurement_time, QUICK_MEASUREMENT);
+        assert_eq!(group.sample_size, QUICK_SAMPLE_SIZE);
+        group
+            .warm_up_time(Duration::from_secs(5))
+            .measurement_time(Duration::from_secs(10))
+            .sample_size(100);
+        assert_eq!(group.warm_up_time, QUICK_WARM_UP);
+        assert_eq!(group.measurement_time, QUICK_MEASUREMENT);
+        assert_eq!(group.sample_size, QUICK_SAMPLE_SIZE);
+        group.finish();
+
+        let mut criterion = Criterion { quick: false };
+        let mut group = criterion.benchmark_group("full");
+        group.sample_size(100);
+        assert_eq!(group.sample_size, 100);
+        group.finish();
     }
 
     #[test]
