@@ -13,8 +13,9 @@
 //! per sanitize policy, two boards), `--livetraffic` (residue decay vs. live
 //! churn depth), `--banks` (flat vs. bank-sharded scrub/scrape throughput
 //! plus the bank-striped attacker sweep), `--remanence` (recovery vs.
-//! Pentimento-style analog residue decay, per scrape mode), `--campaign`
-//! (fleet-scale matrix summary), `--all`.
+//! Pentimento-style analog residue decay, per scrape mode), `--reconstruct`
+//! (the decay-tolerant reconstructor vs. the exact-matching attacker at
+//! matched cell seeds), `--campaign` (fleet-scale matrix summary), `--all`.
 //!
 //! Modifiers: `--tiny` runs the matrix tables on the small test board (the
 //! CI smoke configuration); `--jobs=N` caps the campaign worker pool;
@@ -31,11 +32,11 @@ use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::campaign::{CampaignSpec, CampaignSummary, InputKind, StreamConfig};
 use msa_core::defense::{
-    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant, evaluate_remanence,
-    evaluate_revival, evaluate_sanitize_policies,
+    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
+    evaluate_reconstruction, evaluate_remanence, evaluate_revival, evaluate_sanitize_policies,
 };
 use msa_core::profile::Profiler;
-use msa_core::report::{bytes, percent, JsonObject, TextTable};
+use msa_core::report::{bytes, json_array, percent, JsonObject, TextTable};
 use msa_core::{ScrapeMode, VictimSchedule};
 use petalinux_sim::{BoardConfig, IsolationPolicy, Kernel, Shell};
 use vitis_ai_sim::{DpuRunner, Image, ModelKind};
@@ -62,6 +63,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--livetraffic",
     "--banks",
     "--remanence",
+    "--reconstruct",
     "--campaign",
     "--tiny",
     "--stream",
@@ -199,6 +201,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if options.want("--remanence") {
         remanence(&options)?;
+    }
+    if options.want("--reconstruct") {
+        reconstruct(&options)?;
     }
     if options.want("--campaign") {
         campaign(&options)?;
@@ -905,6 +910,87 @@ fn remanence(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             && pair[0].residue_bytes_raw == pair[1].residue_bytes_raw
     });
     println!("bank-striped decayed scrape identical to sequential: {identical}\n");
+    Ok(())
+}
+
+/// The `--reconstruct` artifact: the decay-tolerant reconstructor
+/// (multi-snapshot fusion, fuzzy signature identification, neighbor repair)
+/// against the exact-matching single-read attacker, one row per remanence
+/// point at **matched cell seeds** — each pair of columns reads the same
+/// decayed residue, so the gain column is pure algorithm, no luck.
+///
+/// The verdict line asserts the reconstruction claim: strictly better pixel
+/// recovery at every decayed point.  The machine-readable twin goes to
+/// `BENCH_reconstruct.json` (schema `msa-bench-reconstruct-v1`); the note
+/// goes to stderr because the golden tests pin stdout byte-for-byte.
+fn reconstruct(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    /// Snapshots fused per scrape window: the attacker re-reads the window
+    /// on consecutive decay ticks and ORs the reads (decay only clears
+    /// bits, so fusion is sound and monotone).
+    const SNAPSHOTS: usize = 3;
+
+    println!(
+        "=== RECONSTRUCT: decay-tolerant reconstruction vs exact matching (victim: resnet50_pt) ==="
+    );
+    let rows = evaluate_reconstruction(options.board(), ModelKind::Resnet50Pt, SNAPSHOTS)?;
+    let mut table = TextTable::new(vec![
+        "remanence",
+        "id (exact)",
+        "recovery (exact)",
+        "id (reconstructed)",
+        "recovery (reconstructed)",
+        "gain",
+        "decayed recovery",
+    ]);
+    for row in &rows {
+        let gain = row.recovery_gain();
+        table.add_row(vec![
+            row.remanence.to_string(),
+            row.baseline_identified.to_string(),
+            percent(row.baseline_recovery),
+            row.reconstructed_identified.to_string(),
+            percent(row.reconstructed_recovery),
+            if gain.is_finite() {
+                format!("{gain:.2}x")
+            } else {
+                "inf".into()
+            },
+            percent(row.decayed_recovery),
+        ]);
+    }
+    println!("{table}");
+    let strictly_better = rows
+        .iter()
+        .filter(|r| r.remanence != RemanenceModel::Perfect)
+        .all(|r| r.reconstructed_recovery > r.baseline_recovery);
+    println!(
+        "reconstruction strictly beats exact matching at every decayed point: {strictly_better}\n"
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            JsonObject::new()
+                .str("remanence", &row.remanence.to_string())
+                .bool("baseline_identified", row.baseline_identified)
+                .f64("baseline_recovery", row.baseline_recovery)
+                .bool("reconstructed_identified", row.reconstructed_identified)
+                .f64("reconstructed_recovery", row.reconstructed_recovery)
+                .f64("recovery_gain", row.recovery_gain())
+                .f64("decayed_recovery", row.decayed_recovery)
+                .finish()
+        })
+        .collect();
+    let json = JsonObject::new()
+        .str("schema", "msa-bench-reconstruct-v1")
+        .str("board", options.board_name())
+        .str("model", "resnet50_pt")
+        .u64("snapshots", SNAPSHOTS as u64)
+        .bool("strictly_better_when_decayed", strictly_better)
+        .raw("rows", &json_array(&json_rows))
+        .finish();
+    std::fs::write("BENCH_reconstruct.json", format!("{json}\n"))?;
+    eprintln!("wrote BENCH_reconstruct.json");
     Ok(())
 }
 

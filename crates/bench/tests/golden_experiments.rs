@@ -129,6 +129,20 @@ fn tiny_remanence_stdout_is_pinned_and_jobs_independent() {
 }
 
 #[test]
+fn tiny_reconstruct_stdout_is_pinned_and_jobs_independent() {
+    // Like the remanence table, the reconstruction table is fully
+    // deterministic: snapshots advance on logical ticks, fusion/repair are
+    // pure functions of the decayed bytes, and paired rows share their cell
+    // seed.  The same golden pins the serial and the 4-worker run.
+    for jobs in ["--jobs=1", "--jobs=4"] {
+        assert_matches_golden(
+            &["--reconstruct", "--tiny", jobs],
+            "experiments_tiny_reconstruct.txt",
+        );
+    }
+}
+
+#[test]
 fn tiny_banks_stdout_is_pinned() {
     // The `--banks` table's deterministic content — bank counts, stripe and
     // region sizes, byte-identity verdicts and the bank-striped attacker
@@ -204,6 +218,50 @@ fn substrates_bench_artifact_schema_is_pinned() {
         assert_eq!(
             normalized, golden,
             "BENCH_substrates.json drifted from the committed schema; \
+             if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn reconstruct_bench_artifact_is_pinned() {
+    // Unlike the substrates artifact, every field of BENCH_reconstruct.json
+    // is deterministic — recovery rates, gains and verdicts derive from
+    // logical-tick decay, never wall clock — so the whole artifact is pinned
+    // with no masking.
+    let scratch =
+        std::env::temp_dir().join(format!("msa-golden-reconstruct-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir created");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["--reconstruct", "--tiny"])
+        .current_dir(&scratch)
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        output.status.success(),
+        "experiments exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let bench = std::fs::read_to_string(scratch.join("BENCH_reconstruct.json"))
+        .expect("BENCH_reconstruct.json written next to the invocation");
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("BENCH_reconstruct.schema.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &bench).expect("golden file written");
+    } else {
+        let golden = std::fs::read_to_string(&golden_path).expect(
+            "golden file exists — regenerate with UPDATE_GOLDEN=1 cargo test -p msa-bench \
+             --test golden_experiments",
+        );
+        assert_eq!(
+            bench, golden,
+            "BENCH_reconstruct.json drifted from the committed artifact; \
              if the change is intentional, regenerate with UPDATE_GOLDEN=1"
         );
     }

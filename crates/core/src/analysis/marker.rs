@@ -44,6 +44,13 @@ pub fn marker_runs(dump: &MemoryDump, marker: u32, min_len: u64) -> Vec<MarkerRu
 pub fn marker_runs_view(view: &ScrapeView<'_>, marker: u32, min_len: u64) -> Vec<MarkerRun> {
     let pattern = marker.to_le_bytes();
     let uniform = pattern.iter().all(|&b| b == pattern[0]);
+    if uniform {
+        // Runs of a repeated byte are not word-quantized in the dump, so the
+        // word-based scan below would miss a maximal run of 1–3 bytes even at
+        // `min_len < 4`.  Scan byte-wise over the segments instead; maximal
+        // runs of >= 4 bytes come out identical to the word scan.
+        return uniform_byte_runs(view, pattern[0], min_len);
+    }
     let len = view.len();
     let mut runs = Vec::new();
     let mut i = 0usize;
@@ -68,6 +75,37 @@ pub fn marker_runs_view(view: &ScrapeView<'_>, marker: u32, min_len: u64) -> Vec
         } else {
             i += 1;
         }
+    }
+    runs
+}
+
+/// Maximal runs of the repeated byte `value`, at least `min_len` bytes long,
+/// scanned segment-by-segment (runs may straddle segment boundaries).
+fn uniform_byte_runs(view: &ScrapeView<'_>, value: u8, min_len: u64) -> Vec<MarkerRun> {
+    let mut runs = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let mut pos = 0usize;
+    let flush = |start: usize, end: usize, runs: &mut Vec<MarkerRun>| {
+        let run_len = (end - start) as u64;
+        if run_len >= min_len {
+            runs.push(MarkerRun {
+                offset: start as u64,
+                len: run_len,
+            });
+        }
+    };
+    for segment in view.segments() {
+        for &byte in segment {
+            if byte == value {
+                run_start.get_or_insert(pos);
+            } else if let Some(start) = run_start.take() {
+                flush(start, pos, &mut runs);
+            }
+            pos += 1;
+        }
+    }
+    if let Some(start) = run_start {
+        flush(start, pos, &mut runs);
     }
     runs
 }
@@ -177,6 +215,45 @@ mod tests {
                 "marker {marker:08x}"
             );
         }
+    }
+
+    #[test]
+    fn uniform_runs_shorter_than_a_word_are_found_at_small_min_len() {
+        // Regression: the word-quantized scan missed maximal uniform runs of
+        // 1–3 bytes even when `min_len < 4`.
+        let mut bytes = vec![0u8; 8];
+        bytes.extend_from_slice(&[0xFF; 3]);
+        bytes.extend_from_slice(&[0u8; 5]);
+        bytes.push(0xFF);
+        bytes.extend_from_slice(&[0u8; 7]);
+        let dump = dump_of(bytes);
+        let runs = marker_runs(&dump, CORRUPTED_MARKER, 2);
+        assert_eq!(
+            runs,
+            vec![MarkerRun { offset: 8, len: 3 }],
+            "the 3-byte run clears min_len=2, the single byte does not"
+        );
+        let ones = marker_runs(&dump, CORRUPTED_MARKER, 1);
+        assert_eq!(
+            ones,
+            vec![
+                MarkerRun { offset: 8, len: 3 },
+                MarkerRun { offset: 16, len: 1 },
+            ]
+        );
+        // min_len >= 4 still sees nothing here.
+        assert!(marker_runs(&dump, CORRUPTED_MARKER, 4).is_empty());
+    }
+
+    #[test]
+    fn short_uniform_run_at_the_dump_tail_is_found() {
+        let mut bytes = vec![0u8; 6];
+        bytes.extend_from_slice(&[0x55; 2]);
+        let dump = dump_of(bytes);
+        assert_eq!(
+            marker_runs(&dump, SENTINEL_MARKER, 2),
+            vec![MarkerRun { offset: 6, len: 2 }]
+        );
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //!   against the public library (a string-free identification modality).
 //! - [`entropy`] — model-agnostic dump characterization: classify windows of
 //!   the dump as zero / filler / text / high-entropy / structured regions.
+//! - [`reconstruct`] — decay-tolerant recovery: multi-snapshot fusion, fuzzy
+//!   model identification and entropy-guided image repair for residue the
+//!   remanence models have partially erased.
 
 pub mod entropy;
 pub mod image;
 pub mod marker;
+pub mod reconstruct;
 pub mod strings;
 pub mod weights;

@@ -11,12 +11,13 @@ use zynq_dram::ScrapeView;
 
 use crate::analysis::image::reconstruct_image_view;
 use crate::analysis::marker::{marker_runs_view, CORRUPTED_MARKER};
+use crate::analysis::reconstruct::{entropy_image_offset, fuzzy_identify_view, repair_image};
 use crate::analysis::strings::identify_model_view;
 use crate::dump::{HeapView, MemoryDump};
 use crate::error::AttackError;
 use crate::metrics::{AttackOutcome, OffsetSource, StepTimingsBuilder};
 use crate::profile::ProfileDatabase;
-use crate::scrape::{scrape_heap, scrape_heap_view};
+use crate::scrape::{scrape_heap, scrape_heap_snapshots, scrape_heap_view};
 use crate::signature::SignatureDb;
 use crate::translate::{capture_heap_translation, HeapTranslation};
 
@@ -50,6 +51,22 @@ pub enum ScrapeMode {
         /// plain contiguous read).
         workers: usize,
     },
+    /// The contiguous-range read repeated `snapshots` times across
+    /// successive revival windows (one decay tick apart), with the snapshots
+    /// OR-fused per bit ([`crate::analysis::reconstruct::fuse_snapshots`]).
+    ///
+    /// Because the shipped decay models only ever clear bits, the fused dump
+    /// is a bitwise superset of every individual snapshot and a subset of
+    /// the raw residue — the accumulation-across-reads attacker Pentimento
+    /// describes.  Requires a mutable kernel to tick the clock between
+    /// snapshots ([`AttackPipeline::execute_mut`]); on the immutable
+    /// entry points it soundly degenerates to a single contiguous read (the
+    /// fusion of snapshots under monotone decay equals the earliest one).
+    MultiSnapshot {
+        /// Number of snapshots fused (must be non-zero; 1 degenerates to
+        /// the plain contiguous read).
+        snapshots: usize,
+    },
 }
 
 impl ScrapeMode {
@@ -59,23 +76,32 @@ impl ScrapeMode {
     pub fn reads_contiguous_range(self) -> bool {
         matches!(
             self,
-            ScrapeMode::ContiguousRange | ScrapeMode::BankStriped { .. }
+            ScrapeMode::ContiguousRange
+                | ScrapeMode::BankStriped { .. }
+                | ScrapeMode::MultiSnapshot { .. }
         )
     }
 
-    /// Rejects modes that are invalid by construction — today only
-    /// [`ScrapeMode::BankStriped`] with zero workers, which every scrape
-    /// path refuses identically (the `workers` field is public, so specs can
-    /// carry the invalid value past the builder asserts).
+    /// Rejects modes that are invalid by construction —
+    /// [`ScrapeMode::BankStriped`] with zero workers and
+    /// [`ScrapeMode::MultiSnapshot`] with zero snapshots, which every scrape
+    /// path refuses identically (the fields are public, so specs can carry
+    /// the invalid values past the builder asserts).
     ///
     /// # Errors
     ///
-    /// Returns the same typed error a zero-worker DRAM operation produces
-    /// ([`zynq_dram::DramError::ZeroWorkers`] wrapped as a channel error).
+    /// Returns the same typed error the corresponding DRAM operation
+    /// produces ([`zynq_dram::DramError::ZeroWorkers`] /
+    /// [`zynq_dram::DramError::ZeroSnapshots`] wrapped as a channel error).
     pub fn validate(self) -> Result<(), crate::error::AttackError> {
         if matches!(self, ScrapeMode::BankStriped { workers: 0 }) {
             return Err(crate::error::AttackError::Channel(
                 petalinux_sim::KernelError::from(zynq_dram::DramError::ZeroWorkers),
+            ));
+        }
+        if matches!(self, ScrapeMode::MultiSnapshot { snapshots: 0 }) {
+            return Err(crate::error::AttackError::Channel(
+                petalinux_sim::KernelError::from(zynq_dram::DramError::ZeroSnapshots),
             ));
         }
         Ok(())
@@ -88,6 +114,7 @@ impl std::fmt::Display for ScrapeMode {
             ScrapeMode::ContiguousRange => write!(f, "contiguous-range"),
             ScrapeMode::PerPage => write!(f, "per-page"),
             ScrapeMode::BankStriped { workers } => write!(f, "bank-striped({workers})"),
+            ScrapeMode::MultiSnapshot { snapshots } => write!(f, "multi-snapshot({snapshots})"),
         }
     }
 }
@@ -105,6 +132,12 @@ pub struct AttackConfig {
     /// Minimum identification confidence required before using a profile's
     /// image offset.
     pub min_identification_confidence: f64,
+    /// Enables the decay-tolerant reconstruction layer
+    /// ([`crate::analysis::reconstruct`]): fuzzy model identification when
+    /// exact matching fails, entropy-guided image location when no profile
+    /// or marker offset is usable, and neighbor repair of the reconstructed
+    /// image before scoring.
+    pub reconstruct: bool,
 }
 
 impl Default for AttackConfig {
@@ -114,6 +147,7 @@ impl Default for AttackConfig {
             victim_pattern: None,
             marker_min_run: 256,
             min_identification_confidence: 0.3,
+            reconstruct: false,
         }
     }
 }
@@ -342,15 +376,23 @@ impl AttackPipeline {
     /// ([`AttackPipeline::analyze`] delegates here, so both paths share one
     /// algorithm).
     pub fn analyze_view(&self, view: &ScrapeView<'_>) -> Analysis {
-        let identified = identify_model_view(view, &self.signatures);
+        let usable = |m: &crate::signature::ModelMatch| {
+            m.confidence() >= self.config.min_identification_confidence
+        };
+        let mut identified = identify_model_view(view, &self.signatures);
+        if self.config.reconstruct && !identified.as_ref().is_some_and(usable) {
+            // Decay-tolerant fallback: bit-level fuzzy signature matching
+            // over the same view, which survives clipped and erased bytes.
+            identified = fuzzy_identify_view(view, &self.signatures)
+                .filter(usable)
+                .or(identified);
+        }
         let runs = marker_runs_view(view, CORRUPTED_MARKER, self.config.marker_min_run);
 
         let mut image_offset_used = None;
         let mut reconstructed_image = None;
         if let Some(matched) = &identified {
-            if matched.confidence() >= self.config.min_identification_confidence
-                && matched.model.accepts_image_input()
-            {
+            if usable(matched) && matched.model.accepts_image_input() {
                 // Preferred: the offset learned by offline profiling.
                 if let Some(profile) = self.profiles.profile(matched.model) {
                     image_offset_used = Some(OffsetSource::Profile {
@@ -359,10 +401,24 @@ impl AttackPipeline {
                 } else if let Some(run) = runs.first() {
                     // Fallback: the first corrupted-image marker run.
                     image_offset_used = Some(OffsetSource::Marker { offset: run.offset });
+                } else if self.config.reconstruct {
+                    // Last resort, reconstruction only: locate the image by
+                    // its entropy region signature (decay shortens marker
+                    // runs below any useful threshold long before it erases
+                    // the region structure).
+                    let (w, h) = matched.model.input_dims();
+                    if let Some(offset) = entropy_image_offset(view, (w * h * 3) as usize) {
+                        image_offset_used = Some(OffsetSource::Entropy { offset });
+                    }
                 }
                 if let Some(source) = image_offset_used {
                     reconstructed_image =
                         reconstruct_image_view(view, matched.model, source.offset());
+                }
+                if self.config.reconstruct {
+                    // Heal decay damage by neighbor interpolation before the
+                    // reconstruction is scored.
+                    reconstructed_image = reconstructed_image.map(|image| repair_image(&image));
                 }
             }
         }
@@ -477,6 +533,37 @@ impl AttackPipeline {
         )?;
         let scrape_elapsed = scrape_start.elapsed();
         Ok(self.score_dump(observation, &dump, scrape_elapsed))
+    }
+
+    /// [`AttackPipeline::execute`] with a mutable kernel, which is what
+    /// [`ScrapeMode::MultiSnapshot`] needs: the decay clock is ticked once
+    /// between snapshots, so each read sees the residue one revival window
+    /// later, and the snapshots are OR-fused into the analysed dump.
+    ///
+    /// Every other scrape mode behaves exactly as [`AttackPipeline::execute`]
+    /// (the kernel is simply not mutated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scraping errors, and rejects a zero snapshot count.
+    pub fn execute_mut(
+        &self,
+        debugger: &mut DebugSession,
+        kernel: &mut Kernel,
+        observation: &Observation,
+    ) -> Result<AttackOutcome, AttackError> {
+        let ScrapeMode::MultiSnapshot { snapshots } = self.config.scrape_mode else {
+            return self.execute(debugger, kernel, observation);
+        };
+        if debugger.is_running(kernel, observation.pid()) {
+            return Err(AttackError::VictimStillRunning {
+                pid: observation.pid(),
+            });
+        }
+        let scrape_start = Instant::now();
+        let scrape = scrape_heap_snapshots(debugger, kernel, observation.translation(), snapshots)?;
+        let scrape_elapsed = scrape_start.elapsed();
+        Ok(self.score_dump(observation, &scrape.dump, scrape_elapsed))
     }
 }
 
@@ -682,9 +769,23 @@ mod tests {
             ScrapeMode::BankStriped { workers: 4 }.to_string(),
             "bank-striped(4)"
         );
+        assert_eq!(
+            ScrapeMode::MultiSnapshot { snapshots: 3 }.to_string(),
+            "multi-snapshot(3)"
+        );
         assert!(ScrapeMode::ContiguousRange.reads_contiguous_range());
         assert!(ScrapeMode::BankStriped { workers: 2 }.reads_contiguous_range());
+        assert!(ScrapeMode::MultiSnapshot { snapshots: 3 }.reads_contiguous_range());
         assert!(!ScrapeMode::PerPage.reads_contiguous_range());
+        assert!(!AttackConfig::default().reconstruct);
+        assert!(ScrapeMode::MultiSnapshot { snapshots: 1 }
+            .validate()
+            .is_ok());
+        assert!(ScrapeMode::MultiSnapshot { snapshots: 0 }
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("zero snapshots"));
         let pipeline = AttackPipeline::default();
         assert_eq!(pipeline.config(), &AttackConfig::default());
     }

@@ -128,6 +128,10 @@ pub struct CampaignCell {
     pub scrape_mode: ScrapeMode,
     /// The victim-traffic schedule.
     pub schedule: VictimSchedule,
+    /// Whether the decay-tolerant reconstruction layer is enabled for this
+    /// cell (`None` when the spec does not sweep the axis — the base attack
+    /// config's setting applies).
+    pub reconstruct: Option<bool>,
     /// The per-cell seed (spec seed mixed with the cell index).
     pub seed: u64,
 }
@@ -144,6 +148,13 @@ impl CampaignCell {
         if !self.remanence.is_perfect() {
             label.push('/');
             label.push_str(&self.remanence.to_string());
+        }
+        // Swept reconstruction is called out either way; unswept cells keep
+        // their pre-reconstruction labels.
+        match self.reconstruct {
+            Some(true) => label.push_str("/reconstruct"),
+            Some(false) => label.push_str("/exact"),
+            None => {}
         }
         label
     }
@@ -181,6 +192,7 @@ impl CampaignCell {
             .with_input(self.input.materialize(self.model))
             .with_attack_config(AttackConfig {
                 scrape_mode: self.scrape_mode,
+                reconstruct: self.reconstruct.unwrap_or(base.reconstruct),
                 ..base.clone()
             })
             .with_profiles(profiles)
@@ -199,7 +211,7 @@ impl CampaignCell {
 ///
 /// Expansion order (slowest-varying first): board → model → input →
 /// sanitize → isolation → aslr → allocation order → remanence → scrape mode
-/// → schedule.
+/// → schedule → reconstruction.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     boards: Vec<(String, BoardConfig)>,
@@ -212,6 +224,7 @@ pub struct CampaignSpec {
     remanence_models: Option<Vec<RemanenceModel>>,
     scrape_modes: Vec<ScrapeMode>,
     schedules: Vec<VictimSchedule>,
+    reconstruct_modes: Option<Vec<bool>>,
     attack_config: AttackConfig,
     seed: u64,
     jobs: Option<usize>,
@@ -245,6 +258,7 @@ impl CampaignSpec {
             remanence_models: None,
             scrape_modes: vec![ScrapeMode::ContiguousRange],
             schedules: vec![VictimSchedule::Single],
+            reconstruct_modes: None,
             attack_config: AttackConfig::default(),
             seed: 0,
             jobs: None,
@@ -358,6 +372,24 @@ impl CampaignSpec {
         self
     }
 
+    /// Sweeps the decay-tolerant reconstruction layer
+    /// ([`AttackConfig::reconstruct`]) over `modes` — typically
+    /// `vec![false, true]` so fleet sweeps compare raw exact-matching
+    /// recovery against reconstructed recovery cell for cell.
+    ///
+    /// When unset (the default) the axis contributes no cells and the base
+    /// attack config's setting applies, so pre-reconstruction campaigns and
+    /// their seeds are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` is empty.
+    pub fn with_reconstruction(mut self, modes: Vec<bool>) -> Self {
+        assert!(!modes.is_empty(), "reconstruction axis must not be empty");
+        self.reconstruct_modes = Some(modes);
+        self
+    }
+
     /// Sets the base attack configuration (each cell overlays its scrape
     /// mode on top).
     pub fn with_attack_config(mut self, config: AttackConfig) -> Self {
@@ -390,6 +422,7 @@ impl CampaignSpec {
             * self.remanence_models.as_ref().map_or(1, Vec::len)
             * self.scrape_modes.len()
             * self.schedules.len()
+            * self.reconstruct_modes.as_ref().map_or(1, Vec::len)
     }
 
     /// Expands the matrix into cells, in the documented deterministic order.
@@ -431,6 +464,7 @@ impl CampaignSpec {
         // Decode the fastest-varying axis first — the reverse of the
         // documented slowest-first expansion order.
         let mut rem = index;
+        let reconstruct = optional_pick(&self.reconstruct_modes, &mut rem);
         let schedule = self.schedules[axis_index(self.schedules.len(), &mut rem)];
         let scrape_mode = self.scrape_modes[axis_index(self.scrape_modes.len(), &mut rem)];
         let remanence = optional_pick(&self.remanence_models, &mut rem);
@@ -472,6 +506,7 @@ impl CampaignSpec {
             remanence: board.remanence(),
             scrape_mode,
             schedule,
+            reconstruct,
             seed: mix_seed(self.seed, index as u64),
         }
     }
@@ -1448,6 +1483,46 @@ mod tests {
         assert_eq!(groups["perfect"].mean_decayed_recovery, 1.0);
         assert!(groups["exponential(hl=1)"].residue_bits_flipped > 0);
         assert!(groups["exponential(hl=1)"].mean_decayed_recovery < 1.0);
+    }
+
+    #[test]
+    fn reconstruction_axis_doubles_cells_and_lifts_decayed_recovery() {
+        use zynq_dram::RemanenceModel;
+        let swept = tiny_spec()
+            .with_models(vec![ModelKind::SqueezeNet])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_remanence_models(vec![RemanenceModel::Exponential { half_life_ticks: 1 }])
+            .with_reconstruction(vec![false, true])
+            .with_seed(11);
+        assert_eq!(swept.cell_count(), 2);
+        let cells = swept.expand();
+        assert_eq!(cells[0].reconstruct, Some(false));
+        assert_eq!(cells[1].reconstruct, Some(true));
+        assert!(cells[0].label().ends_with("/exact"));
+        assert!(cells[1].label().ends_with("/reconstruct"));
+        // Specs that never mention the axis keep their cells untouched.
+        let unswept = tiny_spec().expand();
+        assert_eq!(unswept[0].reconstruct, None);
+        assert!(!unswept[0].label().contains("reconstruct"));
+
+        let report = swept.run().unwrap();
+        let exact = report.cells()[0].metrics.as_ref().unwrap();
+        let repaired = report.cells()[1].metrics.as_ref().unwrap();
+        // At a one-tick half-life the exact matcher loses the signature;
+        // fuzzy identification recovers the model and neighbor repair lifts
+        // pixel recovery above the raw decayed read.
+        assert!(!exact.model_identified);
+        assert!(repaired.model_identified);
+        assert!(repaired.pixel_recovery > exact.pixel_recovery);
+
+        // Aggregation splits cleanly along the new axis.
+        let groups = report.group_by(|r| {
+            r.cell
+                .reconstruct
+                .map_or_else(|| "default".into(), |on| on.to_string())
+        });
+        assert_eq!(groups.len(), 2);
+        assert!(groups["true"].mean_pixel_recovery > groups["false"].mean_pixel_recovery);
     }
 
     #[test]

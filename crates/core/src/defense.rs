@@ -20,7 +20,7 @@ use vitis_ai_sim::ModelKind;
 use zynq_dram::{RemanenceModel, SanitizePolicy};
 use zynq_mmu::{AllocationOrder, AslrMode};
 
-use crate::attack::ScrapeMode;
+use crate::attack::{AttackConfig, ScrapeMode};
 use crate::campaign::{CampaignSpec, CellRecord, InputKind, StreamConfig};
 use crate::error::AttackError;
 use crate::scenario::{ScenarioMetrics, ScenarioResult, VictimSchedule};
@@ -347,6 +347,107 @@ pub fn evaluate_remanence(
         .into_iter()
         .zip(striped)
         .flat_map(|(a, b)| [a, b])
+        .collect())
+}
+
+/// One row of the reconstruction sweep: what the raw exact-matching attacker
+/// recovers at a remanence point versus the decay-tolerant reconstructor
+/// ([`crate::analysis::reconstruct`]) at the **same cell seed** — the paired
+/// columns of the `--reconstruct` experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconstructRow {
+    /// The remanence decay model under test.
+    pub remanence: RemanenceModel,
+    /// Snapshots fused by the multi-snapshot read (1 = single read).
+    pub snapshots: usize,
+    /// Whether the exact-matching baseline identified the model.
+    pub baseline_identified: bool,
+    /// Pixel recovery of the exact-matching baseline.
+    pub baseline_recovery: f64,
+    /// Whether the reconstructing attacker identified the model (exact or
+    /// fuzzy).
+    pub reconstructed_identified: bool,
+    /// Pixel recovery after fusion, fuzzy identification, and repair.
+    pub reconstructed_recovery: f64,
+    /// Fraction of the raw residue still readable through the decay view —
+    /// the physical ceiling both attackers share.
+    pub decayed_recovery: f64,
+}
+
+impl ReconstructRow {
+    /// `reconstructed_recovery / baseline_recovery`: how much the
+    /// reconstructor buys at this remanence point.  1.0 when both recovered
+    /// nothing; infinite when only reconstruction recovered pixels.
+    pub fn recovery_gain(&self) -> f64 {
+        if self.baseline_recovery > 0.0 {
+            self.reconstructed_recovery / self.baseline_recovery
+        } else if self.reconstructed_recovery > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Sweeps the remanence decay axis ([`swept_remanence_models`]) twice at
+/// matched cell seeds: once with the exact-matching single-read attacker
+/// (the [`evaluate_remanence`] contiguous baseline) and once with the
+/// decay-tolerant reconstructor — [`ScrapeMode::MultiSnapshot`] fusion plus
+/// fuzzy identification and neighbor repair ([`AttackConfig::reconstruct`]).
+///
+/// Both sweeps use the same spec shape (single-value axes around the
+/// remanence axis) and the same campaign seed, so cell index *i* draws the
+/// same decay pattern in both — each row is a true paired comparison, and
+/// the baseline column reproduces the contiguous column of
+/// [`evaluate_remanence`] byte for byte.
+///
+/// # Errors
+///
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel.
+pub fn evaluate_reconstruction(
+    board: BoardConfig,
+    model: ModelKind,
+    snapshots: usize,
+) -> Result<Vec<ReconstructRow>, AttackError> {
+    type Projection = (bool, f64, f64);
+    let sweep = |mode: ScrapeMode, reconstruct: bool| -> Result<Vec<Projection>, AttackError> {
+        let mut rows = Vec::new();
+        CampaignSpec::new("remanence-sweep", board)
+            .with_models(vec![model])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_remanence_models(swept_remanence_models())
+            .with_scrape_modes(vec![mode])
+            .with_attack_config(AttackConfig {
+                reconstruct,
+                ..AttackConfig::default()
+            })
+            .stream_cells(StreamConfig::default(), |record| {
+                let metrics = completed_metrics(&record)?;
+                rows.push((
+                    metrics.model_identified,
+                    metrics.pixel_recovery,
+                    metrics.residue_lifetime.decayed_recovery_rate(),
+                ));
+                Ok(())
+            })?;
+        Ok(rows)
+    };
+    let baseline = sweep(ScrapeMode::ContiguousRange, false)?;
+    let reconstructed = sweep(ScrapeMode::MultiSnapshot { snapshots }, true)?;
+    Ok(swept_remanence_models()
+        .into_iter()
+        .zip(baseline)
+        .zip(reconstructed)
+        .map(|((remanence, base), recon)| ReconstructRow {
+            remanence,
+            snapshots,
+            baseline_identified: base.0,
+            baseline_recovery: base.1,
+            reconstructed_identified: recon.0,
+            reconstructed_recovery: recon.1,
+            decayed_recovery: base.2,
+        })
         .collect())
 }
 
@@ -700,6 +801,52 @@ mod tests {
             .unwrap();
         assert!(bitflip.residue_bits_flipped > 0);
         assert!(bitflip.pixel_recovery < perfect.pixel_recovery);
+    }
+
+    #[test]
+    fn reconstruction_sweep_beats_the_exact_baseline_at_matched_seeds() {
+        let rows = evaluate_reconstruction(board(), ModelKind::SqueezeNet, 3).unwrap();
+        assert_eq!(rows.len(), swept_remanence_models().len());
+
+        // The baseline column reproduces the contiguous column of the
+        // remanence sweep byte for byte — same spec shape, same seeds.
+        let remanence = evaluate_remanence(board(), ModelKind::SqueezeNet, 4).unwrap();
+        let contiguous: Vec<&RemanenceRow> = remanence
+            .iter()
+            .filter(|r| r.scrape_mode == ScrapeMode::ContiguousRange)
+            .collect();
+        for (row, base) in rows.iter().zip(contiguous) {
+            assert_eq!(row.remanence, base.remanence);
+            assert_eq!(row.snapshots, 3);
+            assert_eq!(row.baseline_identified, base.model_identified);
+            assert_eq!(row.baseline_recovery, base.pixel_recovery);
+            assert_eq!(row.decayed_recovery, base.decayed_recovery);
+        }
+
+        // Perfect remanence: nothing to repair, and the reconstructor must
+        // pass a clean read through untouched.
+        let perfect = &rows[0];
+        assert_eq!(perfect.remanence, RemanenceModel::Perfect);
+        assert!(perfect.reconstructed_identified);
+        assert_eq!(perfect.reconstructed_recovery, perfect.baseline_recovery);
+        assert_eq!(perfect.recovery_gain(), 1.0);
+
+        // Every decayed point: reconstruction strictly beats exact matching.
+        for row in &rows[1..] {
+            assert!(
+                row.reconstructed_identified,
+                "reconstruction must identify the model at {:?}",
+                row.remanence
+            );
+            assert!(
+                row.reconstructed_recovery > row.baseline_recovery,
+                "reconstruction must beat the baseline at {:?} ({} vs {})",
+                row.remanence,
+                row.reconstructed_recovery,
+                row.baseline_recovery
+            );
+            assert!(row.recovery_gain() > 1.0);
+        }
     }
 
     #[test]

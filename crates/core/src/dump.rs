@@ -130,7 +130,7 @@ impl MemoryDump {
 
     /// The bytes at heap-relative `offset`, if the dump extends that far.
     pub fn slice(&self, offset: u64, len: usize) -> Option<&[u8]> {
-        let start = offset as usize;
+        let start = usize::try_from(offset).ok()?;
         let end = start.checked_add(len)?;
         self.bytes.get(start..end)
     }
@@ -348,6 +348,11 @@ mod tests {
         assert_eq!(dump.slice(10, 3), Some(&[10u8, 11, 12][..]));
         assert!(dump.slice(250, 10).is_none());
         assert!(dump.slice(u64::MAX, 1).is_none());
+        // Offsets wider than usize must be a clean `None` via `try_from`,
+        // never a silent truncation back into range (`as usize` would map
+        // 2^32 to 0 on a 32-bit target and return the dump's first bytes).
+        assert!(dump.slice(u64::MAX, 0).is_none());
+        assert!(dump.slice(u64::MAX - 255, 256).is_none());
     }
 
     #[test]

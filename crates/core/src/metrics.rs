@@ -116,13 +116,22 @@ pub enum OffsetSource {
         /// The heap-relative offset.
         offset: u64,
     },
+    /// The offset was inferred from entropy region classes
+    /// ([`crate::analysis::reconstruct::entropy_image_offset`]) — the
+    /// decay-tolerant fallback when no profile or marker run is usable.
+    Entropy {
+        /// The heap-relative offset.
+        offset: u64,
+    },
 }
 
 impl OffsetSource {
     /// The heap-relative offset, regardless of provenance.
     pub fn offset(&self) -> u64 {
         match self {
-            OffsetSource::Profile { offset } | OffsetSource::Marker { offset } => *offset,
+            OffsetSource::Profile { offset }
+            | OffsetSource::Marker { offset }
+            | OffsetSource::Entropy { offset } => *offset,
         }
     }
 }
@@ -187,6 +196,7 @@ mod tests {
     fn offset_source_accessor() {
         assert_eq!(OffsetSource::Profile { offset: 7 }.offset(), 7);
         assert_eq!(OffsetSource::Marker { offset: 9 }.offset(), 9);
+        assert_eq!(OffsetSource::Entropy { offset: 11 }.offset(), 11);
     }
 
     #[test]
@@ -216,6 +226,7 @@ mod tests {
                 model: ModelKind::Resnet50Pt,
                 hits: 3,
                 total_patterns: 3,
+                fuzzy_distance: None,
             }),
             marker_runs: vec![MarkerRun {
                 offset: 64,

@@ -1060,7 +1060,7 @@ impl<'a> BootedScenario<'a> {
                     .filter(|frame| frame_lost(&self.kernel, **frame, &reclaimed))
                     .count();
                 self.pipeline
-                    .execute(&mut debugger, &self.kernel, &observation)?
+                    .execute_mut(&mut debugger, &mut self.kernel, &observation)?
             }
         };
 

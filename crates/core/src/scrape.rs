@@ -17,7 +17,7 @@ use crate::translate::HeapTranslation;
 /// [`DebugSession::is_running`] first (the [`crate::attack::AttackPipeline`]
 /// does, and returns [`AttackError::VictimStillRunning`] otherwise).
 ///
-/// Three read strategies are supported:
+/// Four read strategies are supported:
 ///
 /// - [`ScrapeMode::ContiguousRange`] — the paper's method: translate only the
 ///   heap's endpoints and read the physical range between them in one sweep.
@@ -29,6 +29,10 @@ use crate::translate::HeapTranslation;
 ///   byte-identical to the contiguous sweep, faster on large heaps.
 /// - [`ScrapeMode::PerPage`] — translate and read every page individually; a
 ///   stronger attacker that tolerates scattered physical layouts.
+/// - [`ScrapeMode::MultiSnapshot`] — the contiguous read repeated across
+///   revival windows and OR-fused; on this immutable entry point it
+///   degenerates to the single contiguous sweep (see
+///   [`scrape_heap_snapshots`] for the real N-pass read).
 ///
 /// # Errors
 ///
@@ -47,6 +51,12 @@ pub fn scrape_heap(
         ScrapeMode::BankStriped { workers } => {
             scrape_contiguous(debugger, kernel, translation, Some(workers))
         }
+        // Without a mutable kernel the decay clock cannot advance between
+        // snapshots, and OR-fusing N identical-tick reads of a monotone decay
+        // view equals the earliest read — so the single contiguous sweep is
+        // byte-identical to the fused result.  The real N-pass read lives in
+        // `scrape_heap_snapshots`.
+        ScrapeMode::MultiSnapshot { .. } => scrape_contiguous(debugger, kernel, translation, None),
         ScrapeMode::PerPage => scrape_per_page(debugger, kernel, translation),
     }
 }
@@ -78,11 +88,70 @@ pub fn scrape_heap_view<'k>(
         return Ok(None);
     }
     match mode {
-        ScrapeMode::ContiguousRange | ScrapeMode::BankStriped { .. } => {
-            scrape_contiguous_view(debugger, kernel, translation)
-        }
+        // MultiSnapshot joins the contiguous modes here for the same reason
+        // it does in `scrape_heap`: with an immutable kernel every snapshot
+        // reads the same tick, and the OR-fusion of identical reads is that
+        // read.
+        ScrapeMode::ContiguousRange
+        | ScrapeMode::BankStriped { .. }
+        | ScrapeMode::MultiSnapshot { .. } => scrape_contiguous_view(debugger, kernel, translation),
         ScrapeMode::PerPage => scrape_per_page_view(debugger, kernel, translation),
     }
+}
+
+/// A multi-snapshot scrape: the fused dump the analysis consumes plus the
+/// raw per-snapshot reads (each taken one decay tick after the previous).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotScrape {
+    /// The OR-fused dump ([`crate::analysis::reconstruct::fuse_snapshots`]).
+    pub dump: MemoryDump,
+    /// The individual snapshots, earliest first.
+    pub snapshots: Vec<Vec<u8>>,
+}
+
+/// The mutable-kernel form of [`scrape_heap`] for
+/// [`ScrapeMode::MultiSnapshot`]: reads the victim's contiguous physical
+/// range `snapshots` times across successive decay ticks and OR-fuses the
+/// reads into one dump.
+///
+/// Because decay only ever clears bits, the fused dump is a bitwise superset
+/// of every individual snapshot and a subset of the raw residue; with the
+/// default perfect remanence every snapshot is identical and the fused dump
+/// equals the single-read scrape.  Edge semantics (empty translation,
+/// zero-length heap, window-end clamping) mirror the contiguous scrape.
+///
+/// # Errors
+///
+/// Same conditions as [`scrape_heap`], plus a rejection of zero snapshot
+/// counts.
+pub fn scrape_heap_snapshots(
+    debugger: &mut DebugSession,
+    kernel: &mut Kernel,
+    translation: &HeapTranslation,
+    snapshots: usize,
+) -> Result<SnapshotScrape, AttackError> {
+    ScrapeMode::MultiSnapshot { snapshots }.validate()?;
+    let start = translation
+        .phys_start()
+        .ok_or(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        })?;
+    let len = translation.heap_len() as usize;
+    if len == 0 {
+        return Ok(SnapshotScrape {
+            dump: MemoryDump::empty(translation.heap_start()),
+            snapshots: vec![Vec::new(); snapshots],
+        });
+    }
+    let window_end = kernel.config().dram().end();
+    let available = window_end.offset_from(start).min(len as u64) as usize;
+    let reads = debugger.read_phys_snapshots(kernel, start, available, snapshots)?;
+    let mut fused = crate::analysis::reconstruct::fuse_snapshots(&reads);
+    fused.resize(len, 0);
+    Ok(SnapshotScrape {
+        dump: MemoryDump::from_contiguous(translation.heap_start(), start, fused),
+        snapshots: reads,
+    })
 }
 
 fn scrape_contiguous_view<'k>(
@@ -407,6 +476,104 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn multi_snapshot_mode_degenerates_to_contiguous_on_immutable_paths() {
+        let (kernel, _run, translation) = attacked_board();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let contiguous =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        let multi = scrape_heap(
+            &mut dbg,
+            &kernel,
+            &translation,
+            ScrapeMode::MultiSnapshot { snapshots: 3 },
+        )
+        .unwrap();
+        assert_eq!(contiguous.as_bytes(), multi.as_bytes());
+        let heap = scrape_heap_view(
+            &mut dbg,
+            &kernel,
+            &translation,
+            ScrapeMode::MultiSnapshot { snapshots: 3 },
+        )
+        .unwrap()
+        .expect("perfect remanence permits borrowed reads");
+        assert_eq!(heap.to_bytes(), contiguous.as_bytes());
+    }
+
+    #[test]
+    fn snapshot_scrape_fuses_decaying_reads_soundly() {
+        use zynq_dram::RemanenceModel;
+        let board = BoardConfig::tiny_for_tests()
+            .with_remanence(RemanenceModel::Exponential { half_life_ticks: 4 });
+        let mut kernel = Kernel::boot(board);
+        kernel.set_remanence_seed(99);
+        let launched = DpuRunner::new(ModelKind::SqueezeNet)
+            .with_input(Image::corrupted(224, 224))
+            .launch(&mut kernel, UserId::new(0))
+            .unwrap();
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let translation = capture_heap_translation(&mut dbg, &kernel, launched.pid()).unwrap();
+        launched.terminate(&mut kernel).unwrap();
+
+        let scrape = scrape_heap_snapshots(&mut dbg, &mut kernel, &translation, 3).unwrap();
+        assert_eq!(scrape.snapshots.len(), 3);
+        let fused = scrape.dump.as_bytes();
+        for (i, snapshot) in scrape.snapshots.iter().enumerate() {
+            for (f, s) in fused.iter().zip(snapshot) {
+                assert_eq!(s & !f, 0, "snapshot {i} bit missing from fusion");
+            }
+        }
+        // Under monotone decay the fusion equals the earliest snapshot
+        // (padded to heap length).
+        let mut earliest = scrape.snapshots[0].clone();
+        earliest.resize(fused.len(), 0);
+        assert_eq!(fused, &earliest[..]);
+        // Later snapshots genuinely lose bytes at this half-life.
+        let survivors = |bytes: &[u8]| bytes.iter().filter(|&&b| b != 0).count();
+        assert!(survivors(&scrape.snapshots[2]) < survivors(&scrape.snapshots[0]));
+    }
+
+    #[test]
+    fn snapshot_scrape_rejects_zero_and_mirrors_edge_semantics() {
+        let (kernel, _run, translation) = attacked_board();
+        let mut kernel = kernel;
+        let mut dbg = DebugSession::connect(UserId::new(1));
+        let err = scrape_heap_snapshots(&mut dbg, &mut kernel, &translation, 0).unwrap_err();
+        assert!(matches!(err, AttackError::Channel(_)), "{err}");
+        assert!(err.to_string().contains("zero snapshots"));
+
+        // Empty translation and zero-length heap behave like the contiguous
+        // scrape.
+        let empty = HeapTranslation::from_parts(
+            translation.pid(),
+            translation.heap_start(),
+            translation.heap_end(),
+            vec![None; translation.pages().len()],
+        );
+        assert!(matches!(
+            scrape_heap_snapshots(&mut dbg, &mut kernel, &empty, 2),
+            Err(AttackError::TranslationEmpty { .. })
+        ));
+        let zero_len = HeapTranslation::from_parts(
+            Pid::new(77),
+            VirtAddr::new(0x1000),
+            VirtAddr::new(0x1000),
+            vec![Some(kernel.config().dram().base())],
+        );
+        let scrape = scrape_heap_snapshots(&mut dbg, &mut kernel, &zero_len, 2).unwrap();
+        assert!(scrape.dump.is_empty());
+        assert_eq!(scrape.snapshots, vec![Vec::new(); 2]);
+
+        // Under perfect remanence every snapshot is identical and the fused
+        // dump equals the single-read scrape.
+        let single =
+            scrape_heap(&mut dbg, &kernel, &translation, ScrapeMode::ContiguousRange).unwrap();
+        let multi = scrape_heap_snapshots(&mut dbg, &mut kernel, &translation, 3).unwrap();
+        assert_eq!(multi.dump.as_bytes(), single.as_bytes());
+        assert!(multi.snapshots.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct ModelMatch {
     pub hits: usize,
     /// Total number of patterns in the signature.
     pub total_patterns: usize,
+    /// Mean fuzzy-match distance (fraction of pattern bits missing from the
+    /// dump, 0.0 = exact) when the match came from the decay-tolerant scan
+    /// ([`crate::analysis::reconstruct::fuzzy_identify_view`]); `None` on the
+    /// exact-matching path.
+    pub fuzzy_distance: Option<f64>,
 }
 
 impl ModelMatch {
@@ -116,6 +121,7 @@ impl SignatureDb {
                     model: sig.model,
                     hits,
                     total_patterns: sig.patterns.len(),
+                    fuzzy_distance: None,
                 }
             })
             .filter(|m| m.hits > 0)
@@ -225,7 +231,8 @@ mod tests {
             ModelMatch {
                 model: ModelKind::Vgg16,
                 hits: 0,
-                total_patterns: 0
+                total_patterns: 0,
+                fuzzy_distance: None
             }
             .confidence(),
             0.0

@@ -239,6 +239,42 @@ impl DebugSession {
             .record(self.user, DebugOp::ReadPhys { addr, len }, result.is_ok());
         result
     }
+
+    /// Reads the same `len`-byte physical range `snapshots` times across
+    /// successive decay ticks ([`Shell::devmem_read_snapshots`]).
+    ///
+    /// Each snapshot is a separate physical read, so the defender's monitor
+    /// sees one `ReadPhys` audit entry per snapshot — repeated scraping of
+    /// the same range is exactly the access pattern a remanence-accumulation
+    /// attack leaves behind.  A failed batch records a single denied entry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DebugSession::read_phys_range`], plus a rejection
+    /// of zero snapshot counts.
+    pub fn read_phys_snapshots(
+        &mut self,
+        kernel: &mut Kernel,
+        addr: PhysAddr,
+        len: usize,
+        snapshots: usize,
+    ) -> Result<Vec<Vec<u8>>, KernelError> {
+        let result = self
+            .shell
+            .devmem_read_snapshots(kernel, addr, len, snapshots);
+        let entries = result.as_ref().map_or(1, Vec::len).max(1);
+        for _ in 0..entries {
+            self.audit.record(
+                self.user,
+                DebugOp::ReadPhys {
+                    addr,
+                    len: len as u64,
+                },
+                result.is_ok(),
+            );
+        }
+        result
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,12 @@ pub enum DramError {
     /// miscomputed `--jobs` value), so the device rejects it instead of
     /// silently degrading to a no-op.
     ZeroWorkers,
+    /// A multi-snapshot read was requested with zero snapshots.
+    ///
+    /// Like [`DramError::ZeroWorkers`], a snapshot count of zero is always a
+    /// caller bug — fusing zero reads has no defined result — so it is
+    /// rejected instead of returning an empty dump.
+    ZeroSnapshots,
 }
 
 impl fmt::Display for DramError {
@@ -87,6 +93,9 @@ impl fmt::Display for DramError {
             }
             DramError::ZeroWorkers => {
                 write!(f, "bank-parallel operation requested with zero workers")
+            }
+            DramError::ZeroSnapshots => {
+                write!(f, "multi-snapshot read requested with zero snapshots")
             }
         }
     }
@@ -124,6 +133,9 @@ mod tests {
         };
         assert!(e.to_string().contains("no DDR coordinates"));
         assert!(DramError::ZeroWorkers.to_string().contains("zero workers"));
+        assert!(DramError::ZeroSnapshots
+            .to_string()
+            .contains("zero snapshots"));
     }
 
     #[test]

@@ -115,9 +115,17 @@ impl RemanenceModel {
                 let survival = (-(elapsed_ticks as f64) / half_life_ticks as f64)
                     .exp2()
                     .min(1.0);
-                DecayCurve::KeepBelow {
-                    threshold: (survival * THRESHOLD_SCALE) as u64,
+                let threshold = (survival * THRESHOLD_SCALE) as u64;
+                if threshold == u64::MAX {
+                    // The saturating f64→u64 cast rounded the survival
+                    // probability up to 2^64: no hash can reach the
+                    // threshold, so the curve is inert.  Returning the
+                    // explicit identity keeps `is_identity()` and `apply()`
+                    // in agreement for a cell hash of exactly `u64::MAX`
+                    // (which `KeepBelow { u64::MAX }` would still zero).
+                    return DecayCurve::Identity;
                 }
+                DecayCurve::KeepBelow { threshold }
             }
             RemanenceModel::BitFlip { rate_ppm } => {
                 let p = (rate_ppm as f64 / 1_000_000.0).clamp(0.0, 1.0);
@@ -325,6 +333,49 @@ mod tests {
                     assert_eq!(decayed & raw, decayed);
                 }
                 assert_eq!(model.curve(9).apply(0, hash), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_exponential_survival_is_the_explicit_identity() {
+        // Regression: a huge half-life at a small elapsed-tick count rounds
+        // the survival probability up to 1.0, and the saturating f64→u64
+        // cast used to produce `KeepBelow { threshold: u64::MAX }` — which
+        // `is_identity()` called inert while `apply()` still zeroed a byte
+        // whose cell hash was exactly `u64::MAX`.
+        let model = RemanenceModel::Exponential {
+            half_life_ticks: u64::MAX,
+        };
+        let curve = model.curve(1);
+        assert_eq!(curve, DecayCurve::Identity);
+        assert!(curve.is_identity());
+        assert_eq!(curve.apply(0xA5, u64::MAX), 0xA5);
+        // The old buggy curve shape disagreed with its own identity claim.
+        let stale = DecayCurve::KeepBelow {
+            threshold: u64::MAX,
+        };
+        assert!(stale.is_identity());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_identity_curves_never_change_a_byte(
+            half_life in 1u64..u64::MAX,
+            elapsed in 0u64..1_000,
+            raw in proptest::prelude::any::<u8>(),
+            hash in proptest::prelude::any::<u64>(),
+        ) {
+            for model in [
+                RemanenceModel::Perfect,
+                RemanenceModel::Exponential { half_life_ticks: half_life },
+                RemanenceModel::BitFlip { rate_ppm: half_life % 1_000_001 },
+            ] {
+                let curve = model.curve(elapsed);
+                if curve.is_identity() {
+                    proptest::prop_assert_eq!(curve.apply(raw, hash), raw);
+                    proptest::prop_assert_eq!(curve.apply(raw, u64::MAX), raw);
+                }
             }
         }
     }

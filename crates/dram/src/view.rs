@@ -182,7 +182,11 @@ impl<'a> ScrapeView<'a> {
     ///
     /// Panics if the range exceeds the view.
     pub fn copy_into(&self, offset: usize, buf: &mut [u8]) {
-        assert!(offset + buf.len() <= self.len, "copy_into out of range");
+        let end = offset.checked_add(buf.len());
+        assert!(
+            end.is_some_and(|end| end <= self.len),
+            "copy_into out of range"
+        );
         let mut cursor = 0usize;
         for segment in self.segments_from(offset) {
             if cursor == buf.len() {
@@ -399,6 +403,25 @@ mod tests {
         let flat = view.to_vec();
         assert_eq!(&flat[..128], &data[..]);
         assert!(flat[128..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn copy_into_rejects_offsets_that_overflow_the_bounds_check() {
+        // Regression: the bounds check used unchecked `offset + buf.len()`,
+        // which wraps in release builds for near-`usize::MAX` offsets and let
+        // the assert pass before an out-of-range walk.
+        let data = sample(64);
+        let view = chunked(&data, 0, 64);
+        let mut buf = [0u8; 8];
+        let overflowing = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            view.copy_into(usize::MAX - 4, &mut buf);
+        }));
+        assert!(overflowing.is_err(), "wrapping offset must still panic");
+        // The same range is a clean `None` on the non-panicking path.
+        assert!(view.to_vec_range(usize::MAX - 4, 8).is_none());
+        // In-range copies are unaffected.
+        view.copy_into(4, &mut buf);
+        assert_eq!(&buf, &data[4..12]);
     }
 
     #[test]

@@ -469,6 +469,39 @@ impl Kernel {
         Ok(self.dram.scrape_banks_parallel(addr, buf, workers)?)
     }
 
+    /// Reads the same physical range `snapshots` times, advancing the decay
+    /// clock one tick between reads (each snapshot therefore sees the residue
+    /// one revival window later than the previous one).
+    ///
+    /// The first snapshot is taken at the current clock, so a single-snapshot
+    /// read is byte-identical to [`Kernel::read_physical_bytes`].  Ticking the
+    /// clock also runs any background scrubs that come due, exactly as
+    /// [`Kernel::tick`] would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM range errors, and rejects a zero snapshot count.
+    pub fn read_physical_snapshots(
+        &mut self,
+        addr: PhysAddr,
+        len: usize,
+        snapshots: usize,
+    ) -> Result<Vec<Vec<u8>>, KernelError> {
+        if snapshots == 0 {
+            return Err(zynq_dram::DramError::ZeroSnapshots.into());
+        }
+        let mut reads = Vec::with_capacity(snapshots);
+        for snapshot in 0..snapshots {
+            if snapshot > 0 {
+                self.tick(1);
+            }
+            let mut buf = vec![0u8; len];
+            self.read_physical_bytes(addr, &mut buf)?;
+            reads.push(buf);
+        }
+        Ok(reads)
+    }
+
     /// Formats a kernel tick as the `HH:MM` wall-clock string `ps -ef` prints
     /// in its `STIME` column (boot is pinned at 03:51, matching the paper's
     /// figures).
@@ -847,6 +880,62 @@ mod tests {
         assert_eq!(k.residue_frame_count(), 1);
         assert_eq!(k.dram().residue_bytes(), 4096);
         assert_eq!(k.dram().residue_decay(None).surviving_bytes, 0);
+    }
+
+    #[test]
+    fn multi_snapshot_reads_tick_the_clock_and_only_lose_bits() {
+        use zynq_dram::RemanenceModel;
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests()
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 2 }),
+        );
+        k.set_remanence_seed(7);
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, &[0xA5; 4096]).unwrap();
+        let pa = k
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        k.terminate(pid).unwrap();
+
+        assert!(matches!(
+            k.read_physical_snapshots(pa, 4096, 0),
+            Err(KernelError::Dram(zynq_dram::DramError::ZeroSnapshots))
+        ));
+
+        let before = k.clock();
+        let snaps = k.read_physical_snapshots(pa, 4096, 3).unwrap();
+        assert_eq!(snaps.len(), 3);
+        // Snapshots 2 and 3 are taken one and two ticks later.
+        assert_eq!(k.clock(), before + 2);
+        // Decay only clears bits, so each later snapshot is a bitwise subset
+        // of the earlier ones.
+        for pair in snaps.windows(2) {
+            for (earlier, later) in pair[0].iter().zip(&pair[1]) {
+                assert_eq!(later & !earlier, 0);
+            }
+        }
+        // The first snapshot matches a plain read taken at the same tick: the
+        // clock only advances *between* snapshots, never before the first.
+        let mut replay = vec![0u8; 4096];
+        let mut fresh = Kernel::boot(
+            BoardConfig::tiny_for_tests()
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 2 }),
+        );
+        fresh.set_remanence_seed(7);
+        let pid = fresh.spawn(UserId::new(0), &["victim"]).unwrap();
+        fresh.grow_heap(pid, 4096).unwrap();
+        let heap = fresh.process(pid).unwrap().heap_base();
+        fresh
+            .write_process_memory(pid, heap, &[0xA5; 4096])
+            .unwrap();
+        fresh.terminate(pid).unwrap();
+        fresh.read_physical_bytes(pa, &mut replay).unwrap();
+        assert_eq!(snaps[0], replay);
     }
 
     #[test]

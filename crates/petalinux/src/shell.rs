@@ -184,6 +184,26 @@ impl Shell {
         self.check_devmem(kernel)?;
         kernel.read_physical_view(addr, len)
     }
+
+    /// The multi-snapshot form of [`Shell::devmem_read_bytes`]: re-runs the
+    /// same `devmem` loop `snapshots` times with one decay tick between runs
+    /// ([`Kernel::read_physical_snapshots`]).  Same permission check, applied
+    /// once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Shell::devmem_read_bytes`], plus a rejection of
+    /// zero snapshot counts.
+    pub fn devmem_read_snapshots(
+        &self,
+        kernel: &mut Kernel,
+        addr: PhysAddr,
+        len: usize,
+        snapshots: usize,
+    ) -> Result<Vec<Vec<u8>>, KernelError> {
+        self.check_devmem(kernel)?;
+        kernel.read_physical_snapshots(addr, len, snapshots)
+    }
 }
 
 #[cfg(test)]

@@ -12,11 +12,16 @@
 //! 3. **Fan-out independent** — a decayed scrape is byte-identical between
 //!    the sequential read path and `scrape_banks_parallel` at every worker
 //!    count (per-shard decay is a pure per-cell function).
+//! 4. **Fusion sound** — OR-fusing a multi-snapshot read sequence
+//!    ([`fpga_msa::msa::analysis::reconstruct::fuse_snapshots`]) is a
+//!    bitwise superset of every single snapshot and a bitwise subset of the
+//!    raw residue: fusion can only undo decay, never invent bytes.
 //!
 //! These are the device-level guarantees the campaign determinism suite
 //! builds on when it sweeps the remanence axis across pool workers.
 
 use fpga_msa::dram::{Dram, DramConfig, OwnerTag, RemanenceModel, PAGE_SIZE};
+use fpga_msa::msa::analysis::reconstruct::fuse_snapshots;
 use proptest::prelude::*;
 
 const VICTIM: OwnerTag = OwnerTag::new(1391);
@@ -147,6 +152,100 @@ proptest! {
                 &sequential,
                 &striped,
                 "decayed scrape diverged: {} workers={}",
+                model,
+                workers
+            );
+        }
+    }
+
+    /// Fusing an N-snapshot read sequence is sound: every fused byte is a
+    /// bitwise superset of each individual snapshot (fusion never loses a
+    /// bit any read captured) and a bitwise subset of the raw residue
+    /// (fusion never invents a bit the victim never wrote).  With monotone
+    /// decay the fusion collapses to the earliest snapshot exactly — the
+    /// fact that lets immutable scrape paths degenerate
+    /// `ScrapeMode::MultiSnapshot` to a single read.
+    #[test]
+    fn snapshot_fusion_is_a_superset_of_reads_and_subset_of_raw(
+        selector in any::<u8>(),
+        parameter in any::<u64>(),
+        seed in any::<u64>(),
+        start_tick in 0u64..24,
+        snapshots in 1usize..6,
+    ) {
+        let model = model_from(selector, parameter);
+        let (mut dram, residue_len) = decaying_board(model, seed, 3);
+        let base = dram.config().base();
+
+        // Tick zero: the read *is* the raw residue.
+        let mut raw = vec![0u8; residue_len as usize];
+        dram.read_bytes(base, &mut raw).unwrap();
+
+        dram.advance_remanence(start_tick);
+        let mut reads = Vec::new();
+        for i in 0..snapshots {
+            if i > 0 {
+                dram.advance_remanence(1);
+            }
+            let mut buf = vec![0u8; residue_len as usize];
+            dram.read_bytes(base, &mut buf).unwrap();
+            reads.push(buf);
+        }
+
+        let fused = fuse_snapshots(&reads);
+        prop_assert_eq!(fused.len(), raw.len());
+        for (i, read) in reads.iter().enumerate() {
+            for (j, (f, r)) in fused.iter().zip(read).enumerate() {
+                prop_assert_eq!(f & r, *r, "snapshot {} byte {} lost in fusion", i, j);
+            }
+        }
+        for (j, (f, r)) in fused.iter().zip(&raw).enumerate() {
+            prop_assert_eq!(f & r, *f, "fused byte {} exceeds the raw residue", j);
+        }
+        // Decay is monotone, so the OR of the sequence is its earliest read.
+        prop_assert_eq!(&fused, &reads[0]);
+    }
+
+    /// A fused multi-snapshot scrape is byte-identical whether each
+    /// snapshot was read sequentially or bank-striped, at every worker
+    /// count — the device-level guarantee behind the campaign's
+    /// `--jobs`-independent reconstruction golden.
+    #[test]
+    fn snapshot_fusion_is_deterministic_across_worker_counts(
+        selector in any::<u8>(),
+        parameter in any::<u64>(),
+        seed in any::<u64>(),
+        start_tick in 1u64..24,
+    ) {
+        let model = model_from(selector, parameter);
+        let (mut dram, residue_len) = decaying_board(model, seed, 5);
+        let len = residue_len as usize;
+        let base = dram.config().base();
+        dram.advance_remanence(start_tick);
+
+        const WORKERS: [usize; 4] = [1, 2, 4, 8];
+        let mut sequential = Vec::new();
+        let mut striped: Vec<Vec<Vec<u8>>> = vec![Vec::new(); WORKERS.len()];
+        for i in 0..3 {
+            if i > 0 {
+                dram.advance_remanence(1);
+            }
+            let mut buf = vec![0u8; len];
+            dram.read_bytes(base, &mut buf).unwrap();
+            sequential.push(buf);
+            for (snapshots, workers) in striped.iter_mut().zip(WORKERS) {
+                let mut buf = vec![0u8; len];
+                dram.scrape_banks_parallel(base, &mut buf, workers).unwrap();
+                snapshots.push(buf);
+            }
+        }
+
+        let fused = fuse_snapshots(&sequential);
+        for (snapshots, workers) in striped.iter().zip(WORKERS) {
+            prop_assert_eq!(
+                &fused,
+                &fuse_snapshots(snapshots),
+                "fused scrape diverged: {} workers={}",
                 model,
                 workers
             );
