@@ -15,7 +15,8 @@
 //! plus the bank-striped attacker sweep), `--remanence` (recovery vs.
 //! Pentimento-style analog residue decay, per scrape mode), `--reconstruct`
 //! (the decay-tolerant reconstructor vs. the exact-matching attacker at
-//! matched cell seeds), `--campaign` (fleet-scale matrix summary), `--all`.
+//! matched cell seeds), `--swap` (compressed-swap and copy-on-write residue
+//! vs. sanitize policy), `--campaign` (fleet-scale matrix summary), `--all`.
 //!
 //! Modifiers: `--tiny` runs the matrix tables on the small test board (the
 //! CI smoke configuration); `--jobs=N` caps the campaign worker pool;
@@ -32,8 +33,9 @@ use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::campaign::{CampaignSpec, CampaignSummary, InputKind, StreamConfig};
 use msa_core::defense::{
-    evaluate_isolation, evaluate_layout_randomization, evaluate_multi_tenant,
-    evaluate_reconstruction, evaluate_remanence, evaluate_revival, evaluate_sanitize_policies,
+    evaluate_cow_retention, evaluate_isolation, evaluate_layout_randomization,
+    evaluate_multi_tenant, evaluate_reconstruction, evaluate_remanence, evaluate_revival,
+    evaluate_sanitize_policies, evaluate_swap,
 };
 use msa_core::profile::Profiler;
 use msa_core::report::{bytes, json_array, percent, JsonObject, TextTable};
@@ -64,6 +66,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--banks",
     "--remanence",
     "--reconstruct",
+    "--swap",
     "--campaign",
     "--tiny",
     "--stream",
@@ -204,6 +207,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if options.want("--reconstruct") {
         reconstruct(&options)?;
+    }
+    if options.want("--swap") {
+        swap(&options)?;
     }
     if options.want("--campaign") {
         campaign(&options)?;
@@ -991,6 +997,127 @@ fn reconstruct(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         .finish();
     std::fs::write("BENCH_reconstruct.json", format!("{json}\n"))?;
     eprintln!("wrote BENCH_reconstruct.json");
+    Ok(())
+}
+
+/// The `--swap` artifact: the two residue substrates that live *beyond* the
+/// DRAM frames every TAB-B sanitizer targets.
+///
+/// Table one puts the board under memory pressure so the kernel compresses
+/// the victim's cold heap pages into swap before termination; frame-oriented
+/// scrubbers leave the slots intact and the attacker decompresses them back
+/// over the scrubbed dump.  Table two forks CoW children off the victim, so
+/// its heap frames never return to the free list and zero-on-free has
+/// nothing to zero.  The machine-readable twin goes to `BENCH_swap.json`
+/// (schema `msa-bench-swap-v1`); the note goes to stderr because the golden
+/// tests pin stdout byte-for-byte.
+fn swap(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    /// Fraction of the victim heap swapped out before termination.
+    const SWAP_PRESSURE: u8 = 100;
+    /// CoW children the fork-heavy victim leaves behind.
+    const COW_CHILDREN: usize = 2;
+
+    println!(
+        "=== SWAP: compressed-swap residue vs sanitize policy (victim: squeezenet, board: {}) ===",
+        options.board_name()
+    );
+    let swap_rows = evaluate_swap(options.board(), ModelKind::SqueezeNet, SWAP_PRESSURE)?;
+    let mut table = TextTable::new(vec![
+        "policy",
+        "scrubs swap",
+        "swap resident",
+        "residue frames",
+        "identified",
+        "recovery",
+    ]);
+    for row in &swap_rows {
+        table.add_row(vec![
+            row.policy.to_string(),
+            row.scrubs_swap.to_string(),
+            bytes(row.swap_resident_bytes),
+            row.residue_frames.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+        ]);
+    }
+    println!("{table}");
+    let frame_only_leaks = swap_rows
+        .iter()
+        .filter(|r| !r.scrubs_swap && r.policy != SanitizePolicy::None)
+        .any(|r| r.swap_resident_bytes > 0 && r.pixel_recovery > 0.0);
+    let swap_aware_holds = swap_rows
+        .iter()
+        .filter(|r| r.scrubs_swap)
+        .all(|r| r.swap_resident_bytes == 0);
+    println!("frame-only scrubbing leaves swap residue readable: {frame_only_leaks}");
+    println!("swap-aware policies empty the swap store: {swap_aware_holds}\n");
+
+    println!(
+        "=== SWAP: CoW-retained residue vs sanitize policy (fork-heavy victim, {COW_CHILDREN} children) ==="
+    );
+    let cow_rows = evaluate_cow_retention(options.board(), ModelKind::SqueezeNet, COW_CHILDREN)?;
+    let mut table = TextTable::new(vec![
+        "policy",
+        "victim frames",
+        "cow inherited",
+        "identified",
+        "recovery",
+    ]);
+    for row in &cow_rows {
+        table.add_row(vec![
+            row.policy.to_string(),
+            row.victim_frames.to_string(),
+            row.cow_inherited_frames.to_string(),
+            row.model_identified.to_string(),
+            percent(row.pixel_recovery),
+        ]);
+    }
+    println!("{table}");
+    let cow_survives_zero_on_free = cow_rows
+        .iter()
+        .filter(|r| r.policy == SanitizePolicy::ZeroOnFree)
+        .all(|r| r.cow_inherited_frames > 0 && r.pixel_recovery > 0.0);
+    println!("CoW shares survive zero-on-free: {cow_survives_zero_on_free}\n");
+
+    let swap_json: Vec<String> = swap_rows
+        .iter()
+        .map(|row| {
+            JsonObject::new()
+                .str("policy", &row.policy.to_string())
+                .bool("scrubs_swap", row.scrubs_swap)
+                .u64("swap_resident_bytes", row.swap_resident_bytes)
+                .u64("residue_frames", row.residue_frames as u64)
+                .bool("model_identified", row.model_identified)
+                .f64("pixel_recovery", row.pixel_recovery)
+                .finish()
+        })
+        .collect();
+    let cow_json: Vec<String> = cow_rows
+        .iter()
+        .map(|row| {
+            JsonObject::new()
+                .str("policy", &row.policy.to_string())
+                .u64("victim_frames", row.victim_frames as u64)
+                .u64("cow_inherited_frames", row.cow_inherited_frames as u64)
+                .bool("model_identified", row.model_identified)
+                .f64("pixel_recovery", row.pixel_recovery)
+                .finish()
+        })
+        .collect();
+    let json = JsonObject::new()
+        .str("schema", "msa-bench-swap-v1")
+        .str("board", options.board_name())
+        .str("model", "squeezenet")
+        .u64("swap_pressure", SWAP_PRESSURE as u64)
+        .u64("cow_children", COW_CHILDREN as u64)
+        .bool("frame_only_leaks_swap", frame_only_leaks)
+        .bool("swap_aware_empties_swap", swap_aware_holds)
+        .bool("cow_survives_zero_on_free", cow_survives_zero_on_free)
+        .raw("swap_rows", &json_array(&swap_json))
+        .raw("cow_rows", &json_array(&cow_json))
+        .finish();
+    std::fs::write("BENCH_swap.json", format!("{json}\n"))?;
+    eprintln!("wrote BENCH_swap.json");
     Ok(())
 }
 

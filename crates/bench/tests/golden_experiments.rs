@@ -143,6 +143,17 @@ fn tiny_reconstruct_stdout_is_pinned_and_jobs_independent() {
 }
 
 #[test]
+fn tiny_swap_stdout_is_pinned_and_jobs_independent() {
+    // The swap and CoW sweeps are fully deterministic — swap-out happens on
+    // logical pre-termination ticks, slot compression is a pure function of
+    // the page bytes, and CoW retention is pure allocator accounting — so
+    // the same golden pins the serial and the 4-worker run.
+    for jobs in ["--jobs=1", "--jobs=4"] {
+        assert_matches_golden(&["--swap", "--tiny", jobs], "experiments_tiny_swap.txt");
+    }
+}
+
+#[test]
 fn tiny_banks_stdout_is_pinned() {
     // The `--banks` table's deterministic content — bank counts, stripe and
     // region sizes, byte-identity verdicts and the bank-striped attacker
@@ -266,6 +277,55 @@ fn reconstruct_bench_artifact_is_pinned() {
         );
     }
     std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn swap_bench_artifact_is_pinned_and_jobs_independent() {
+    // Every field of BENCH_swap.json is deterministic (swap residency,
+    // CoW retention and recovery all derive from logical-tick simulation),
+    // so the whole artifact is pinned with no masking — and the same golden
+    // must come back byte-identical at every worker count.
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("BENCH_swap.schema.json");
+    for jobs in ["--jobs=1", "--jobs=4"] {
+        let scratch = std::env::temp_dir().join(format!(
+            "msa-golden-swap-{}-{}",
+            std::process::id(),
+            jobs.trim_start_matches("--jobs=")
+        ));
+        std::fs::create_dir_all(&scratch).expect("scratch dir created");
+
+        let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["--swap", "--tiny", jobs])
+            .current_dir(&scratch)
+            .output()
+            .expect("experiments binary runs");
+        assert!(
+            output.status.success(),
+            "experiments exited with {:?}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+
+        let bench = std::fs::read_to_string(scratch.join("BENCH_swap.json"))
+            .expect("BENCH_swap.json written next to the invocation");
+
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&golden_path, &bench).expect("golden file written");
+        } else {
+            let golden = std::fs::read_to_string(&golden_path).expect(
+                "golden file exists — regenerate with UPDATE_GOLDEN=1 cargo test -p msa-bench \
+                 --test golden_experiments",
+            );
+            assert_eq!(
+                bench, golden,
+                "BENCH_swap.json drifted from the committed artifact ({jobs}); \
+                 if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+            );
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+    }
 }
 
 #[test]

@@ -161,6 +161,22 @@ pub struct Observation {
 }
 
 impl Observation {
+    /// Wraps an already-captured translation with a fresh (empty) timing
+    /// record.
+    ///
+    /// The live path builds observations through
+    /// [`AttackPipeline::observe_victim`]; this constructor exists for replay
+    /// tooling and edge-case tests that assemble a [`HeapTranslation`]
+    /// directly (e.g. via [`HeapTranslation::from_parts`]) — degenerate
+    /// windows like a zero-length heap cannot be produced through the
+    /// debugger capture, which requires a live `[heap]` mapping.
+    pub fn from_translation(translation: HeapTranslation) -> Self {
+        Observation {
+            translation,
+            timings: StepTimingsBuilder::new(),
+        }
+    }
+
     /// The victim's pid.
     pub fn pid(&self) -> Pid {
         self.translation.pid()
@@ -365,6 +381,35 @@ impl AttackPipeline {
         )
     }
 
+    /// Step 3b, the compressed-swap channel: decompresses every residue slot
+    /// the victim left in the swap store and overlays the recovered
+    /// plaintext onto the scraped dump ([`MemoryDump::overlay_page`] —
+    /// bytes the DRAM scrape already recovered always win).
+    ///
+    /// Swap slots are indexed by heap-relative page, so the overlay needs no
+    /// physical translation; slots another owner wrote, slots a swap-aware
+    /// sanitizer scrubbed, and slots decay has driven to all-zero contribute
+    /// nothing.  Returns the number of dump bytes filled in.
+    pub fn read_swap_residue(
+        &self,
+        kernel: &Kernel,
+        observation: &Observation,
+        dump: &mut MemoryDump,
+    ) -> usize {
+        let owner = observation.pid().owner_tag();
+        let store = kernel.dram().swap_store();
+        let mut filled = 0;
+        for (id, slot) in store.residue_slots() {
+            if slot.owner() != owner {
+                continue;
+            }
+            if let Some(bytes) = store.read_slot(id) {
+                filled += dump.overlay_page(slot.page_index(), &bytes);
+            }
+        }
+        filled
+    }
+
     /// Step 4: analyse a dump — identify the model, find image markers,
     /// reconstruct the image.
     pub fn analyze(&self, dump: &MemoryDump) -> Analysis {
@@ -540,8 +585,15 @@ impl AttackPipeline {
     /// between snapshots, so each read sees the residue one revival window
     /// later, and the snapshots are OR-fused into the analysed dump.
     ///
-    /// Every other scrape mode behaves exactly as [`AttackPipeline::execute`]
-    /// (the kernel is simply not mutated).
+    /// This entry point also drains the compressed-swap channel: when the
+    /// victim left residue slots in the swap store
+    /// ([`AttackPipeline::read_swap_residue`]), the scrape takes the
+    /// owned-dump path (the zero-copy view borrows the bank arenas and
+    /// cannot be overlaid) and the decompressed slots fill the bytes the
+    /// DRAM scrape missed before scoring.
+    ///
+    /// Every other scrape mode on a swap-free board behaves exactly as
+    /// [`AttackPipeline::execute`] (the kernel is simply not mutated).
     ///
     /// # Errors
     ///
@@ -552,8 +604,27 @@ impl AttackPipeline {
         kernel: &mut Kernel,
         observation: &Observation,
     ) -> Result<AttackOutcome, AttackError> {
+        let owner = observation.pid().owner_tag();
+        let has_swap_residue = kernel.dram().swap_store().residue_bytes(Some(owner)) > 0;
         let ScrapeMode::MultiSnapshot { snapshots } = self.config.scrape_mode else {
-            return self.execute(debugger, kernel, observation);
+            if !has_swap_residue {
+                return self.execute(debugger, kernel, observation);
+            }
+            if debugger.is_running(kernel, observation.pid()) {
+                return Err(AttackError::VictimStillRunning {
+                    pid: observation.pid(),
+                });
+            }
+            let scrape_start = Instant::now();
+            let mut dump = scrape_heap(
+                debugger,
+                kernel,
+                observation.translation(),
+                self.config.scrape_mode,
+            )?;
+            self.read_swap_residue(kernel, observation, &mut dump);
+            let scrape_elapsed = scrape_start.elapsed();
+            return Ok(self.score_dump(observation, &dump, scrape_elapsed));
         };
         if debugger.is_running(kernel, observation.pid()) {
             return Err(AttackError::VictimStillRunning {
@@ -562,8 +633,12 @@ impl AttackPipeline {
         }
         let scrape_start = Instant::now();
         let scrape = scrape_heap_snapshots(debugger, kernel, observation.translation(), snapshots)?;
+        let mut dump = scrape.dump;
+        if has_swap_residue {
+            self.read_swap_residue(kernel, observation, &mut dump);
+        }
         let scrape_elapsed = scrape_start.elapsed();
-        Ok(self.score_dump(observation, &scrape.dump, scrape_elapsed))
+        Ok(self.score_dump(observation, &dump, scrape_elapsed))
     }
 }
 

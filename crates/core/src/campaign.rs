@@ -1233,6 +1233,41 @@ mod tests {
     }
 
     #[test]
+    fn multi_snapshot_live_traffic_is_deterministic_across_worker_counts() {
+        // Regression guard for the MultiSnapshot-under-LiveTraffic fix: the
+        // snapshot ticks are pinned to the scrape start, so the fused dump —
+        // and every downstream metric — must be byte-identical whether the
+        // campaign runs on one worker or four.
+        let spec = tiny_spec()
+            .with_models(vec![ModelKind::SqueezeNet])
+            .with_inputs(vec![InputKind::Corrupted])
+            .with_scrape_modes(vec![
+                ScrapeMode::MultiSnapshot { snapshots: 2 },
+                ScrapeMode::MultiSnapshot { snapshots: 3 },
+            ])
+            .with_sanitize_policies(vec![SanitizePolicy::None, SanitizePolicy::ZeroOnFree])
+            .with_schedules(vec![VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 2,
+            }])
+            .with_seed(41);
+        let single = spec.run_with_workers(1).unwrap();
+        let fanned = spec.run_with_workers(4).unwrap();
+        assert_eq!(single.len(), fanned.len());
+        assert_eq!(fanned.workers(), 4);
+        for (a, b) in single.cells().iter().zip(fanned.cells()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        // The cells actually exercised the fixed path: live churn fired and
+        // the scrape completed with a real multi-snapshot fusion.
+        let metrics = single.cells()[0].metrics.as_ref().unwrap();
+        assert!(metrics.residue_lifetime.churn_events > 0);
+        assert!(metrics.bytes_scraped > 0);
+    }
+
+    #[test]
     fn group_stats_empty_rates() {
         let stats = GroupStats::default();
         assert_eq!(stats.identification_rate(), 0.0);

@@ -586,6 +586,123 @@ pub fn evaluate_multi_tenant(
         .collect()
 }
 
+/// One row of the compressed-swap sweep: what each sanitization policy
+/// leaves in the swap store, and what the attacker still recovers when it
+/// overlays decompressed slots onto the scraped dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapRow {
+    /// The policy under test.
+    pub policy: SanitizePolicy,
+    /// Whether the policy scrubs swap slots in addition to DRAM frames.
+    pub scrubs_swap: bool,
+    /// Victim bytes still resident in compressed swap after termination.
+    pub swap_resident_bytes: u64,
+    /// Residue frames left in DRAM after the attack.
+    pub residue_frames: usize,
+    /// Whether the attack still identified the model.
+    pub model_identified: bool,
+    /// Fraction of input pixels recovered exactly.
+    pub pixel_recovery: f64,
+}
+
+/// Sweeps sanitization policies on a board under memory pressure, where the
+/// kernel swapped the victim's cold heap pages into a compressed swap store
+/// before termination.
+///
+/// Frame-oriented scrubbers never touch the swap slots, so the residue
+/// simply moves substrate: the attacker decompresses the surviving slots and
+/// overlays them onto the (scrubbed) DRAM dump.  Only the swap-aware
+/// policies ([`SanitizePolicy::SwapScrub`], [`SanitizePolicy::ZeroOnFreeSwap`])
+/// close the channel they each cover.
+///
+/// # Errors
+///
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel.
+pub fn evaluate_swap(
+    board: BoardConfig,
+    model: ModelKind,
+    swap_pressure: u8,
+) -> Result<Vec<SwapRow>, AttackError> {
+    let mut policies = swept_policies();
+    policies.push(SanitizePolicy::SwapScrub);
+    policies.push(SanitizePolicy::ZeroOnFreeSwap);
+    let mut rows = Vec::new();
+    CampaignSpec::new("swap-sweep", board.with_swap(swap_pressure))
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(policies)
+        .stream_cells(StreamConfig::default(), |record| {
+            let metrics = completed_metrics(&record)?;
+            rows.push(SwapRow {
+                policy: record.cell.sanitize,
+                scrubs_swap: record.cell.sanitize.scrubs_swap(),
+                swap_resident_bytes: metrics.residue_lifetime.swap_resident_bytes,
+                residue_frames: metrics.residue_frames,
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
+            });
+            Ok(())
+        })?;
+    Ok(rows)
+}
+
+/// One row of the copy-on-write retention sweep: residue a fork-heavy victim
+/// leaves behind through frames its children still share at scrape time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CowRow {
+    /// The policy under test.
+    pub policy: SanitizePolicy,
+    /// Residue frames the victim left at termination.
+    pub victim_frames: usize,
+    /// Of those, frames kept alive past termination by CoW-sharing children.
+    pub cow_inherited_frames: usize,
+    /// Whether the attack still identified the model.
+    pub model_identified: bool,
+    /// Fraction of input pixels recovered exactly.
+    pub pixel_recovery: f64,
+}
+
+/// Sweeps sanitization policies through a fork-heavy victim: the victim
+/// forks `children` CoW children before terminating, so its heap frames stay
+/// referenced — and therefore allocated — when it dies.
+///
+/// Frame-oriented scrubbers only sanitize frames that actually return to the
+/// free list, so the shared frames sail past even [`SanitizePolicy::ZeroOnFree`]
+/// and the attacker reads them out of the children's address spaces.
+///
+/// # Errors
+///
+/// Propagates attack errors; returns [`AttackError::Blocked`] when the
+/// caller's board confines the attack channel.
+pub fn evaluate_cow_retention(
+    board: BoardConfig,
+    model: ModelKind,
+    children: usize,
+) -> Result<Vec<CowRow>, AttackError> {
+    let report = CampaignSpec::new("cow-sweep", board)
+        .with_models(vec![model])
+        .with_inputs(vec![InputKind::Corrupted])
+        .with_sanitize_policies(swept_policies())
+        .with_schedules(vec![VictimSchedule::ForkHeavy { children }])
+        .run()?;
+    report
+        .cells()
+        .iter()
+        .map(|record| {
+            let metrics = completed_metrics(record)?;
+            let lifetime = metrics.residue_lifetime;
+            Ok(CowRow {
+                policy: record.cell.sanitize,
+                victim_frames: lifetime.victim_frames,
+                cow_inherited_frames: lifetime.cow_inherited_frames,
+                model_identified: metrics.model_identified,
+                pixel_recovery: metrics.pixel_recovery,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +755,65 @@ mod tests {
             .unwrap();
         assert!(background.model_identified);
         assert!(background.pixel_recovery > 0.99);
+    }
+
+    #[test]
+    fn swap_sweep_shows_frame_only_scrubbers_leaking_through_swap() {
+        let rows = evaluate_swap(board(), ModelKind::SqueezeNet, 100).unwrap();
+        assert_eq!(rows.len(), 8);
+        let by_policy = |p: SanitizePolicy| rows.iter().find(|r| r.policy == p).unwrap();
+
+        // Frame-only zeroing moves the residue, it does not remove it: the
+        // DRAM dump comes back scrubbed, but the attacker rebuilds it from
+        // the surviving compressed-swap slots.
+        let zero = by_policy(SanitizePolicy::ZeroOnFree);
+        assert!(!zero.scrubs_swap);
+        assert!(zero.swap_resident_bytes > 0);
+        assert!(zero.model_identified);
+        assert!(zero.pixel_recovery > 0.99);
+
+        // Swap-aware zeroing closes both substrates.
+        let both = by_policy(SanitizePolicy::ZeroOnFreeSwap);
+        assert!(both.scrubs_swap);
+        assert_eq!(both.swap_resident_bytes, 0);
+        assert!(!both.model_identified);
+        assert_eq!(both.pixel_recovery, 0.0);
+
+        // SwapScrub alone empties the swap store but leaves the DRAM frames:
+        // the paper's original channel remains wide open.
+        let swap_only = by_policy(SanitizePolicy::SwapScrub);
+        assert_eq!(swap_only.swap_resident_bytes, 0);
+        assert!(swap_only.residue_frames > 0);
+        assert!(swap_only.model_identified);
+        assert!(swap_only.pixel_recovery > 0.99);
+
+        // No sanitization at all: swap residue and DRAM residue coexist.
+        let none = by_policy(SanitizePolicy::None);
+        assert!(none.swap_resident_bytes > 0);
+        assert!(none.residue_frames > 0);
+        assert!(none.model_identified);
+    }
+
+    #[test]
+    fn cow_sweep_shows_shared_frames_sailing_past_zero_on_free() {
+        let rows = evaluate_cow_retention(board(), ModelKind::SqueezeNet, 2).unwrap();
+        assert_eq!(rows.len(), 6);
+        let by_policy = |p: SanitizePolicy| rows.iter().find(|r| r.policy == p).unwrap();
+
+        // Zero-on-free only sanitizes frames that return to the free list;
+        // the children's CoW references keep the victim's heap allocated, so
+        // the attacker recovers everything.
+        let zero = by_policy(SanitizePolicy::ZeroOnFree);
+        assert!(zero.victim_frames > 0);
+        assert!(zero.cow_inherited_frames > 0);
+        assert!(zero.cow_inherited_frames <= zero.victim_frames);
+        assert!(zero.model_identified);
+        assert!(zero.pixel_recovery > 0.99);
+
+        // The unsanitized baseline leaks the same way.
+        let none = by_policy(SanitizePolicy::None);
+        assert!(none.cow_inherited_frames > 0);
+        assert!(none.model_identified);
     }
 
     #[test]

@@ -135,6 +135,35 @@ impl MemoryDump {
         self.bytes.get(start..end)
     }
 
+    /// Overlays a page of bytes recovered from a second residue substrate
+    /// (the compressed swap store) onto the dump at heap-relative page
+    /// `page_index`, filling only the positions the DRAM scrape left as
+    /// zero: scraped DRAM residue always wins, so under zero-on-free the
+    /// swapped-out plaintext slots in exactly where the scrub erased it.
+    ///
+    /// Returns the number of bytes filled in.  Pages beyond the dump's end
+    /// (or offsets that overflow) contribute nothing.
+    pub fn overlay_page(&mut self, page_index: u64, bytes: &[u8]) -> usize {
+        let Some(offset) = page_index
+            .checked_mul(PAGE_SIZE)
+            .and_then(|o| usize::try_from(o).ok())
+        else {
+            return 0;
+        };
+        if offset >= self.bytes.len() {
+            return 0;
+        }
+        let window = &mut self.bytes[offset..];
+        let mut filled = 0;
+        for (slot, &b) in window.iter_mut().zip(bytes) {
+            if *slot == 0 && b != 0 {
+                *slot = b;
+                filled += 1;
+            }
+        }
+        filled
+    }
+
     /// Builds the hexdump view of the data (the `<pid>_hexdump.log` file the
     /// paper's scripts produce).
     pub fn to_hexdump(&self) -> HexDump {
@@ -353,6 +382,31 @@ mod tests {
         // 2^32 to 0 on a 32-bit target and return the dump's first bytes).
         assert!(dump.slice(u64::MAX, 0).is_none());
         assert!(dump.slice(u64::MAX - 255, 256).is_none());
+    }
+
+    #[test]
+    fn overlay_page_fills_only_scrubbed_bytes() {
+        let mut bytes = vec![0u8; 2 * PAGE_SIZE as usize];
+        bytes[0] = 0xAA; // surviving DRAM residue must win
+        let mut dump = MemoryDump::from_contiguous(VirtAddr::new(0), PhysAddr::new(0), bytes);
+
+        let mut swapped = vec![0u8; PAGE_SIZE as usize];
+        swapped[0] = 0x11;
+        swapped[1] = 0x22;
+        let filled = dump.overlay_page(0, &swapped);
+        assert_eq!(filled, 1);
+        assert_eq!(dump.as_bytes()[0], 0xAA);
+        assert_eq!(dump.as_bytes()[1], 0x22);
+
+        // Second page fills cleanly; a short source page fills a short run.
+        assert_eq!(dump.overlay_page(1, &[0x33, 0x00, 0x44]), 2);
+        assert_eq!(dump.as_bytes()[PAGE_SIZE as usize], 0x33);
+        assert_eq!(dump.as_bytes()[PAGE_SIZE as usize + 2], 0x44);
+
+        // Out-of-range and overflowing page indices are inert.
+        assert_eq!(dump.overlay_page(2, &swapped), 0);
+        assert_eq!(dump.overlay_page(u64::MAX, &swapped), 0);
+        assert_eq!(MemoryDump::empty(VirtAddr::new(0)).overlay_page(0, &[1]), 0);
     }
 
     #[test]

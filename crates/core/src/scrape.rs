@@ -131,11 +131,9 @@ pub fn scrape_heap_snapshots(
     snapshots: usize,
 ) -> Result<SnapshotScrape, AttackError> {
     ScrapeMode::MultiSnapshot { snapshots }.validate()?;
-    let start = translation
-        .phys_start()
-        .ok_or(AttackError::TranslationEmpty {
-            pid: translation.pid(),
-        })?;
+    // A zero-length window is a typed empty scrape, not a translation error:
+    // it is checked before `phys_start()` so a degenerate translation with no
+    // pages at all still dumps empty instead of erroring.
     let len = translation.heap_len() as usize;
     if len == 0 {
         return Ok(SnapshotScrape {
@@ -143,6 +141,11 @@ pub fn scrape_heap_snapshots(
             snapshots: vec![Vec::new(); snapshots],
         });
     }
+    let start = translation
+        .phys_start()
+        .ok_or(AttackError::TranslationEmpty {
+            pid: translation.pid(),
+        })?;
     let window_end = kernel.config().dram().end();
     let available = window_end.offset_from(start).min(len as u64) as usize;
     let reads = debugger.read_phys_snapshots(kernel, start, available, snapshots)?;
@@ -159,15 +162,17 @@ fn scrape_contiguous_view<'k>(
     kernel: &'k Kernel,
     translation: &HeapTranslation,
 ) -> Result<Option<HeapView<'k>>, AttackError> {
+    // Zero-length window first, as in the owned path: a typed empty view,
+    // even when the translation carries no physical pages.
+    let len = translation.heap_len() as usize;
+    if len == 0 {
+        return Ok(Some(HeapView::empty(translation.heap_start())));
+    }
     let start = translation
         .phys_start()
         .ok_or(AttackError::TranslationEmpty {
             pid: translation.pid(),
         })?;
-    let len = translation.heap_len() as usize;
-    if len == 0 {
-        return Ok(Some(HeapView::empty(translation.heap_start())));
-    }
     // Same window-end clamp as the owned read; the unreadable tail is
     // zero-padded with shared zero chunks.  The padding starts on a view-unit
     // boundary: window end and heap start are page-aligned, and the unit
@@ -194,6 +199,9 @@ fn scrape_per_page_view<'k>(
     kernel: &'k Kernel,
     translation: &HeapTranslation,
 ) -> Result<Option<HeapView<'k>>, AttackError> {
+    if translation.heap_len() == 0 {
+        return Ok(Some(HeapView::empty(translation.heap_start())));
+    }
     if translation.present_pages() == 0 {
         return Err(AttackError::TranslationEmpty {
             pid: translation.pid(),
@@ -240,15 +248,18 @@ fn scrape_contiguous(
     translation: &HeapTranslation,
     bank_workers: Option<usize>,
 ) -> Result<MemoryDump, AttackError> {
+    // A zero-length window is a typed empty dump, not a translation error,
+    // so it is checked before `phys_start()`: a degenerate translation with
+    // no pages at all must not be promoted to `TranslationEmpty`.
+    let len = translation.heap_len() as usize;
+    if len == 0 {
+        return Ok(MemoryDump::empty(translation.heap_start()));
+    }
     let start = translation
         .phys_start()
         .ok_or(AttackError::TranslationEmpty {
             pid: translation.pid(),
         })?;
-    let len = translation.heap_len() as usize;
-    if len == 0 {
-        return Ok(MemoryDump::empty(translation.heap_start()));
-    }
     // Reading beyond the DRAM window (possible when randomized layouts put the
     // first heap page near the top of memory) is clamped rather than failed:
     // the real attack's devmem loop would simply get errors for those words.
@@ -272,6 +283,9 @@ fn scrape_per_page(
     kernel: &Kernel,
     translation: &HeapTranslation,
 ) -> Result<MemoryDump, AttackError> {
+    if translation.heap_len() == 0 {
+        return Ok(MemoryDump::empty(translation.heap_start()));
+    }
     if translation.present_pages() == 0 {
         return Err(AttackError::TranslationEmpty {
             pid: translation.pid(),

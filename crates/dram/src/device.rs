@@ -37,8 +37,9 @@ use crate::addr::{FrameNumber, PhysAddr, PAGE_SIZE};
 use crate::config::{DdrGeometry, DramConfig};
 use crate::error::DramError;
 use crate::mapping::DdrMapping;
-use crate::remanence::{cell_hash, RemanenceModel, ResidueDecay};
+use crate::remanence::{cell_hash, splitmix64, RemanenceModel, ResidueDecay};
 use crate::stats::DramStats;
+use crate::swap::SwapStore;
 use crate::view::{zero_chunk, ScrapeView};
 
 /// Identifies the software entity (in practice: a process id) that owns the
@@ -332,6 +333,11 @@ pub struct Dram {
     /// The device's logical decay clock — advanced by the kernel on scenario
     /// steps and churned scrape chunks, never by wall clock.
     remanence_tick: u64,
+    /// The board's compressed swap device (zram-style).  Lives beside the
+    /// frame store so sanitize policies — which receive `&mut Dram` — can
+    /// reach both substrates; its decay clock advances in lock-step with
+    /// [`Dram::advance_remanence`].
+    swap: SwapStore,
 }
 
 impl Dram {
@@ -358,6 +364,7 @@ impl Dram {
             remanence: RemanenceModel::Perfect,
             remanence_seed: 0,
             remanence_tick: 0,
+            swap: SwapStore::new(),
         }
     }
 
@@ -367,9 +374,12 @@ impl Dram {
     }
 
     /// Seeds the per-cell decay draws (the campaign engine passes the cell
-    /// seed, making decayed scrapes replayable per cell).
+    /// seed, making decayed scrapes replayable per cell).  The swap store's
+    /// draws are derived from the same seed through a salt, so the two
+    /// substrates decay independently but replay together.
     pub fn set_remanence_seed(&mut self, seed: u64) {
         self.remanence_seed = seed;
+        self.swap.set_seed(splitmix64(seed ^ 0x51AB_5107_0000_5EED));
     }
 
     /// The active remanence decay model.
@@ -391,6 +401,18 @@ impl Dram {
     /// non-owned residue is read.
     pub fn advance_remanence(&mut self, ticks: u64) {
         self.remanence_tick += ticks;
+        self.swap.advance(ticks);
+    }
+
+    /// The board's compressed swap device.
+    pub fn swap_store(&self) -> &SwapStore {
+        &self.swap
+    }
+
+    /// Mutable access to the compressed swap device (kernel swap-out paths
+    /// and swap-aware sanitizers).
+    pub fn swap_store_mut(&mut self) -> &mut SwapStore {
+        &mut self.swap
     }
 
     /// The configuration this device was built with.

@@ -55,6 +55,7 @@ pub mod mapping;
 pub mod remanence;
 pub mod sanitize;
 pub mod stats;
+pub mod swap;
 pub mod view;
 
 pub use addr::{FrameNumber, PhysAddr, PAGE_SIZE};
@@ -65,4 +66,5 @@ pub use mapping::{BankChunk, DdrCoordinates, DdrMapping};
 pub use remanence::{RemanenceModel, ResidueDecay};
 pub use sanitize::{SanitizeCost, SanitizePolicy, ScrubReport};
 pub use stats::DramStats;
+pub use swap::{SwapSlot, SwapStore};
 pub use view::ScrapeView;

@@ -89,6 +89,15 @@ pub enum SanitizePolicy {
         /// Number of kernel ticks before the freed frames are scrubbed.
         delay_ticks: u64,
     },
+    /// Destroy the terminated owner's compressed swap slots
+    /// ([`crate::swap::SwapStore`]) but leave its DRAM frames as residue —
+    /// the ablation that isolates the swap channel.
+    SwapScrub,
+    /// Zero every freed frame *and* destroy the owner's swap slots: the
+    /// two-substrate-aware scheme the swap experiments call for.  Frame-only
+    /// scrubbing (plain [`SanitizePolicy::ZeroOnFree`]) leaves the compressed
+    /// store fully recoverable.
+    ZeroOnFreeSwap,
 }
 
 impl SanitizePolicy {
@@ -112,6 +121,8 @@ impl SanitizePolicy {
             SanitizePolicy::RowReset => "rowreset",
             SanitizePolicy::SelectiveScrub => "selective-scrub",
             SanitizePolicy::Background { .. } => "background-scrub",
+            SanitizePolicy::SwapScrub => "swap-scrub",
+            SanitizePolicy::ZeroOnFreeSwap => "zero-on-free+swap",
         }
     }
 
@@ -119,6 +130,15 @@ impl SanitizePolicy {
     /// owners (the multi-tenant hazard the paper highlights).
     pub fn has_collateral_risk(&self) -> bool {
         matches!(self, SanitizePolicy::RowClone | SanitizePolicy::RowReset)
+    }
+
+    /// Returns `true` if this policy destroys the terminated owner's
+    /// compressed swap slots in addition to (or instead of) its frames.
+    pub fn scrubs_swap(&self) -> bool {
+        matches!(
+            self,
+            SanitizePolicy::SwapScrub | SanitizePolicy::ZeroOnFreeSwap
+        )
     }
 
     /// Applies the policy to the frames freed by `terminated` owner.
@@ -169,18 +189,29 @@ impl SanitizePolicy {
     ) -> ScrubReport {
         assert!(workers > 0, "sanitizer worker pool must be non-empty");
         let mut report = ScrubReport::new(*self, terminated, freed.len());
+        // Termination retires *both* substrates: the frames become residue
+        // and the owner's compressed swap slots become swap residue.  Only
+        // the swap-aware policies then destroy the slots.
+        dram.retire_owner(terminated);
+        dram.swap_store_mut().retire_owner(terminated);
+        if self.scrubs_swap() {
+            let (slots, bytes) = dram.swap_store_mut().scrub_owner(terminated);
+            report.swap_slots_scrubbed = slots;
+            report.swap_bytes_scrubbed = bytes;
+            report.cost_cycles +=
+                slots as f64 * cost.per_frame_overhead + bytes as f64 * cost.cpu_store_per_byte;
+        }
         if freed.is_empty() {
             return report;
         }
         let mapping = DdrMapping::new(*dram.config());
 
         match self {
-            SanitizePolicy::None => {
-                // Leave residue behind: just mark the owner dead.
-                dram.retire_owner(terminated);
+            SanitizePolicy::None | SanitizePolicy::SwapScrub => {
+                // Leave frame residue behind (the owner is already retired);
+                // SwapScrub destroyed the swap slots above.
             }
-            SanitizePolicy::ZeroOnFree => {
-                dram.retire_owner(terminated);
+            SanitizePolicy::ZeroOnFree | SanitizePolicy::ZeroOnFreeSwap => {
                 for frame in freed {
                     scrub_frame(dram, *frame, &mut report);
                     report.cost_cycles +=
@@ -188,7 +219,6 @@ impl SanitizePolicy {
                 }
             }
             SanitizePolicy::RowClone => {
-                dram.retire_owner(terminated);
                 let (span_start, span_end) = contiguous_span(freed);
                 let (row_start, _) = mapping
                     .row_span(span_start)
@@ -205,7 +235,6 @@ impl SanitizePolicy {
                 }
             }
             SanitizePolicy::RowReset => {
-                dram.retire_owner(terminated);
                 let mut banks_done = std::collections::HashSet::new();
                 for frame in freed {
                     let base = frame.base_address();
@@ -229,7 +258,6 @@ impl SanitizePolicy {
                 }
             }
             SanitizePolicy::SelectiveScrub => {
-                dram.retire_owner(terminated);
                 let row_bytes = dram.config().geometry().row_bytes();
                 let rows_per_frame = (PAGE_SIZE / row_bytes).max(1);
                 for frame in freed {
@@ -240,7 +268,6 @@ impl SanitizePolicy {
                 }
             }
             SanitizePolicy::Background { .. } => {
-                dram.retire_owner(terminated);
                 report.deferred_frames = freed.to_vec();
             }
         }
@@ -280,6 +307,10 @@ pub struct ScrubReport {
     pub cost_cycles: f64,
     /// Frames whose scrubbing was deferred (background policy only).
     pub deferred_frames: Vec<FrameNumber>,
+    /// Compressed swap slots destroyed (swap-aware policies only).
+    pub swap_slots_scrubbed: usize,
+    /// Uncompressed bytes those slots held.
+    pub swap_bytes_scrubbed: u64,
 }
 
 impl ScrubReport {
@@ -294,6 +325,8 @@ impl ScrubReport {
             banks_reset: 0,
             cost_cycles: 0.0,
             deferred_frames: Vec::new(),
+            swap_slots_scrubbed: 0,
+            swap_bytes_scrubbed: 0,
         }
     }
 
@@ -635,5 +668,56 @@ mod tests {
             SanitizePolicy::Background { delay_ticks: 4 }.to_string(),
             "background-scrub(delay=4)"
         );
+        assert_eq!(SanitizePolicy::SwapScrub.to_string(), "swap-scrub");
+        assert_eq!(
+            SanitizePolicy::ZeroOnFreeSwap.to_string(),
+            "zero-on-free+swap"
+        );
+        assert!(SanitizePolicy::SwapScrub.scrubs_swap());
+        assert!(SanitizePolicy::ZeroOnFreeSwap.scrubs_swap());
+        assert!(!SanitizePolicy::ZeroOnFree.scrubs_swap());
+        assert!(!SanitizePolicy::SwapScrub.has_collateral_risk());
+        assert!(!SanitizePolicy::ZeroOnFreeSwap.has_collateral_risk());
+    }
+
+    #[test]
+    fn frame_only_policies_leave_the_swap_store_recoverable() {
+        let (mut dram, victim, frames) = setup();
+        dram.swap_store_mut().swap_out(victim, 0, &[0xEE; 4096]);
+        let report =
+            SanitizePolicy::ZeroOnFree.apply(&mut dram, victim, &frames, &SanitizeCost::default());
+        assert_eq!(report.swap_slots_scrubbed, 0);
+        // Frames are gone, but the compressed slot became residue and yields
+        // the whole page — the leak channel the swap-aware policies close.
+        assert_eq!(dram.residue_bytes(), 0);
+        assert_eq!(dram.swap_store().residue_bytes(Some(victim)), 4096);
+    }
+
+    #[test]
+    fn swap_aware_policies_destroy_the_slots() {
+        // ZeroOnFreeSwap clears both substrates; SwapScrub clears only swap.
+        let (mut dram, victim, frames) = setup();
+        dram.swap_store_mut().swap_out(victim, 0, &[0xEE; 4096]);
+        let report = SanitizePolicy::ZeroOnFreeSwap.apply(
+            &mut dram,
+            victim,
+            &frames,
+            &SanitizeCost::default(),
+        );
+        assert_eq!(report.swap_slots_scrubbed, 1);
+        assert_eq!(report.swap_bytes_scrubbed, 4096);
+        assert_eq!(report.bytes_scrubbed, 3 * PAGE_SIZE);
+        assert_eq!(dram.residue_bytes(), 0);
+        assert_eq!(dram.swap_store().residue_bytes(None), 0);
+
+        let (mut dram, victim, frames) = setup();
+        dram.swap_store_mut().swap_out(victim, 1, &[0xAA; 4096]);
+        let report =
+            SanitizePolicy::SwapScrub.apply(&mut dram, victim, &frames, &SanitizeCost::default());
+        assert_eq!(report.swap_slots_scrubbed, 1);
+        assert!(report.leaves_residue(), "frames must survive SwapScrub");
+        assert_eq!(dram.residue_bytes(), 3 * PAGE_SIZE);
+        assert_eq!(dram.swap_store().residue_bytes(None), 0);
+        assert!(report.cost_cycles > 0.0);
     }
 }

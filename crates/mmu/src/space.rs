@@ -1,5 +1,7 @@
 //! Per-process address spaces: page table + VMAs + heap break.
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 use zynq_dram::{FrameNumber, PhysAddr, PAGE_SIZE};
 
@@ -269,18 +271,68 @@ impl AddressSpace {
     /// Returns the frames that were freed, in the order they were allocated —
     /// the kernel passes this list to the sanitization policy.
     pub fn release_all(&mut self, allocator: &mut FrameAllocator) -> Vec<FrameNumber> {
+        self.release_all_except(allocator, &BTreeSet::new()).0
+    }
+
+    /// Tears down the address space like [`AddressSpace::release_all`], but
+    /// frames present in `shared` are **not** returned to the allocator — a
+    /// live copy-on-write peer still maps them, and freeing (or scrubbing)
+    /// them here would rip pages out from under that peer.
+    ///
+    /// Returns `(freed, retained)`: the frames returned to the allocator and
+    /// the shared frames left allocated, each in allocation order.
+    pub fn release_all_except(
+        &mut self,
+        allocator: &mut FrameAllocator,
+        shared: &BTreeSet<FrameNumber>,
+    ) -> (Vec<FrameNumber>, Vec<FrameNumber>) {
         for (page, _) in self.page_table.mappings() {
             self.page_table
                 .unmap(page)
                 .expect("mapping enumerated above");
         }
-        let frames = std::mem::take(&mut self.owned_frames);
-        for frame in &frames {
-            allocator.free(*frame);
+        let mut freed = Vec::new();
+        let mut retained = Vec::new();
+        for frame in std::mem::take(&mut self.owned_frames) {
+            if shared.contains(&frame) {
+                retained.push(frame);
+            } else {
+                allocator.free(frame);
+                freed.push(frame);
+            }
         }
         self.vmas.clear();
         self.brk = self.layout.heap_base();
-        frames
+        (freed, retained)
+    }
+
+    /// Replaces the frame backing the page containing `va` with `new_frame`,
+    /// keeping read-write permissions — this services a copy-on-write fault
+    /// after the kernel has copied the shared frame's bytes into a private
+    /// one.
+    ///
+    /// `new_frame` takes the displaced frame's slot in the owned set (so
+    /// allocation order — and hence scrape order — is preserved); the
+    /// displaced frame is returned so the caller can drop its share count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MmuError::NotMapped`] if `va` is not mapped.
+    pub fn remap_page(
+        &mut self,
+        va: VirtAddr,
+        new_frame: FrameNumber,
+    ) -> Result<FrameNumber, MmuError> {
+        let page = va.page_number();
+        let old = self.page_table.unmap(page)?;
+        self.page_table
+            .map(page, new_frame, PagePermissions::read_write())
+            .expect("page was mapped above");
+        match self.owned_frames.iter().position(|f| *f == old) {
+            Some(pos) => self.owned_frames[pos] = new_frame,
+            None => self.owned_frames.push(new_frame),
+        }
+        Ok(old)
     }
 }
 
@@ -446,6 +498,49 @@ mod tests {
         assert_eq!(space.mapped_pages(), 0);
         assert!(space.vmas().is_empty());
         assert_eq!(space.brk(), space.layout().heap_base());
+    }
+
+    #[test]
+    fn release_all_except_retains_shared_frames() {
+        let (mut space, mut frames) = setup();
+        space.grow_heap(3 * PAGE_SIZE, &mut frames).unwrap();
+        let shared: BTreeSet<FrameNumber> = space.owned_frames()[..2].iter().copied().collect();
+        let (freed, retained) = space.release_all_except(&mut frames, &shared);
+        assert_eq!(freed.len(), 1);
+        assert_eq!(retained.len(), 2);
+        assert!(retained.iter().all(|f| shared.contains(f)));
+        // Retained frames stay allocated — a CoW peer still maps them.
+        assert_eq!(frames.allocated_count(), 2);
+        for frame in &retained {
+            assert!(frames.is_allocated(*frame));
+        }
+        assert_eq!(space.mapped_pages(), 0);
+        assert!(space.owned_frames().is_empty());
+    }
+
+    #[test]
+    fn remap_page_swaps_the_backing_frame_in_place() {
+        let (mut space, mut frames) = setup();
+        space.grow_heap(2 * PAGE_SIZE, &mut frames).unwrap();
+        let va = space.layout().heap_base() + PAGE_SIZE + 0x40;
+        let old_frame = space.translate(va).unwrap().frame_number();
+        let old_pos = space
+            .owned_frames()
+            .iter()
+            .position(|f| *f == old_frame)
+            .unwrap();
+        let private = frames.allocate().unwrap();
+        let displaced = space.remap_page(va, private).unwrap();
+        assert_eq!(displaced, old_frame);
+        assert_eq!(space.translate(va).unwrap().frame_number(), private);
+        // The private copy takes the displaced frame's allocation-order slot.
+        assert_eq!(space.owned_frames()[old_pos], private);
+        assert!(!space.owned_frames().contains(&old_frame));
+        // Unmapped addresses still fault.
+        assert!(matches!(
+            space.remap_page(va + 16 * PAGE_SIZE, private),
+            Err(MmuError::NotMapped { .. })
+        ));
     }
 
     #[test]

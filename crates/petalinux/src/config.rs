@@ -75,6 +75,7 @@ pub struct BoardConfig {
     allocation_order: AllocationOrder,
     aslr: AslrMode,
     remanence: RemanenceModel,
+    swap_pressure: u8,
     hostname: &'static str,
 }
 
@@ -90,6 +91,7 @@ impl BoardConfig {
             allocation_order: AllocationOrder::Sequential,
             aslr: AslrMode::Disabled,
             remanence: RemanenceModel::Perfect,
+            swap_pressure: 0,
             hostname: "xilinx-zcu104-20222",
         }
     }
@@ -150,6 +152,18 @@ impl BoardConfig {
         self
     }
 
+    /// Sets the memory-pressure knob: the percentage (clamped to `0..=100`)
+    /// of a victim's heap pages the kernel swaps out — compressed, zram-style
+    /// — before termination. `0` (the default) disables the swap store.
+    ///
+    /// Swapped pages are a second residue substrate: frame-oriented sanitize
+    /// policies never touch the compressed slots, so their plaintext survives
+    /// even a zero-on-free scrub of DRAM.
+    pub fn with_swap(mut self, pressure: u8) -> Self {
+        self.swap_pressure = pressure.min(100);
+        self
+    }
+
     /// The DRAM window configuration.
     pub fn dram(&self) -> DramConfig {
         self.dram
@@ -183,6 +197,12 @@ impl BoardConfig {
     /// The DRAM remanence decay model.
     pub fn remanence(&self) -> RemanenceModel {
         self.remanence
+    }
+
+    /// The swap memory-pressure knob: percentage of a victim's heap pages
+    /// swapped out before termination (`0` = swap disabled).
+    pub fn swap_pressure(&self) -> u8 {
+        self.swap_pressure
     }
 
     /// The shell prompt hostname (cosmetic, used in rendered figures).
@@ -231,7 +251,8 @@ mod tests {
             .with_allocation_order(AllocationOrder::Randomized { seed: 3 })
             .with_aslr(AslrMode::Virtual { seed: 5 })
             .with_remanence(RemanenceModel::Exponential { half_life_ticks: 8 })
-            .with_sanitize_cost(SanitizeCost::default());
+            .with_sanitize_cost(SanitizeCost::default())
+            .with_swap(25);
         assert_eq!(cfg.sanitize_policy(), SanitizePolicy::ZeroOnFree);
         assert_eq!(cfg.isolation(), IsolationPolicy::Confined);
         assert_eq!(
@@ -243,6 +264,10 @@ mod tests {
             cfg.remanence(),
             RemanenceModel::Exponential { half_life_ticks: 8 }
         );
+        assert_eq!(cfg.swap_pressure(), 25);
+        // Values above 100% clamp; the default stays off.
+        assert_eq!(cfg.with_swap(250).swap_pressure(), 100);
+        assert_eq!(BoardConfig::zcu104().swap_pressure(), 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The simulated PetaLinux kernel: DRAM + frame allocator + process table.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use zynq_dram::{sanitize, Dram, FrameNumber, PhysAddr, SanitizePolicy, ScrapeView, ScrubReport};
+use zynq_dram::{
+    sanitize, Dram, FrameNumber, PhysAddr, SanitizePolicy, ScrapeView, ScrubReport, PAGE_SIZE,
+};
 use zynq_mmu::{
     AddressSpace, AddressSpaceLayout, FrameAllocator, PagePermissions, VirtAddr, VmaKind,
 };
@@ -56,6 +58,22 @@ pub struct Kernel {
     clock: u64,
     deferred: Vec<DeferredScrub>,
     scrub_reports: Vec<ScrubReport>,
+    /// Copy-on-write share counts: frame → number of live address spaces
+    /// mapping it.  Entries exist only while a frame is genuinely shared
+    /// (count ≥ 2); once a sole holder remains the frame behaves like any
+    /// privately owned one.
+    cow_shares: BTreeMap<FrameNumber, u32>,
+}
+
+/// Drops one holder's claim on a CoW-shared frame, dissolving the entry when
+/// a single holder remains.
+fn drop_cow_share(shares: &mut BTreeMap<FrameNumber, u32>, frame: FrameNumber) {
+    if let Some(count) = shares.get_mut(&frame) {
+        *count -= 1;
+        if *count <= 1 {
+            shares.remove(&frame);
+        }
+    }
 }
 
 impl Kernel {
@@ -72,6 +90,7 @@ impl Kernel {
             clock: 0,
             deferred: Vec::new(),
             scrub_reports: Vec::new(),
+            cow_shares: BTreeMap::new(),
         }
     }
 
@@ -212,6 +231,64 @@ impl Kernel {
         Ok(pid)
     }
 
+    /// Forks a running process: the child gets a byte-identical copy of the
+    /// parent's address space whose pages are shared **copy-on-write** — no
+    /// frames are copied at fork time, only share counts go up.
+    ///
+    /// The CoW contract is the residue channel the ForkHeavy schedules
+    /// exploit: terminating the parent leaves shared frames allocated (a live
+    /// child still maps them), so they never reach the sanitizer's freed list
+    /// — the parent's heap survives even a zero-on-free scrub, tagged as the
+    /// parent's residue, until the child dies or writes over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::NoSuchProcess`] or
+    /// [`KernelError::ProcessTerminated`].
+    pub fn fork(&mut self, pid: Pid) -> Result<Pid, KernelError> {
+        let parent = self
+            .processes
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !parent.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        let space = parent.space.clone();
+        let user = parent.user();
+        let cmdline = parent.cmdline().to_vec();
+        let child_pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        for frame in space.owned_frames() {
+            // The entry springs to life at 2 (parent + first child) and grows
+            // by one per additional holder.
+            *self.cow_shares.entry(*frame).or_insert(1) += 1;
+        }
+        let child = Process::new(child_pid, pid, user, cmdline, self.clock, space);
+        self.processes.insert(child_pid, child);
+        self.advance_clock(1);
+        Ok(child_pid)
+    }
+
+    /// Frames currently shared copy-on-write, each with the number of live
+    /// address spaces mapping it (always ≥ 2 while listed).
+    pub fn cow_shared_frames(&self) -> impl Iterator<Item = (FrameNumber, u32)> + '_ {
+        self.cow_shares
+            .iter()
+            .map(|(frame, count)| (*frame, *count))
+    }
+
+    /// Number of CoW-shared frames mapped by `pid`'s address space (zero for
+    /// unknown pids).
+    pub fn cow_shared_frame_count(&self, pid: Pid) -> usize {
+        self.processes.get(&pid).map_or(0, |p| {
+            p.space
+                .owned_frames()
+                .iter()
+                .filter(|f| self.cow_shares.contains_key(f))
+                .count()
+        })
+    }
+
     /// Looks up a process (running or terminated).
     ///
     /// # Errors
@@ -310,6 +387,7 @@ impl Kernel {
         data: &[u8],
     ) -> Result<(), KernelError> {
         let owner = pid.owner_tag();
+        self.service_cow_faults(pid, va, data.len() as u64)?;
         // Translate page by page, then write through to DRAM.
         let process = self.running_process_mut(pid)?;
         let mut translations = Vec::new();
@@ -330,6 +408,53 @@ impl Kernel {
                 .write_bytes(pa, &data[start..start + len], owner)?;
         }
         self.advance_clock(1);
+        Ok(())
+    }
+
+    /// Copy-on-write fault service for an upcoming write of `len` bytes at
+    /// `va`: every touched page whose backing frame is shared gets a private
+    /// copy first, so the CoW peer keeps seeing the old bytes.
+    ///
+    /// The private copy is tagged as the *writer's* DRAM ownership; the
+    /// displaced frame keeps its original tag and stays mapped by the
+    /// remaining holders.
+    fn service_cow_faults(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), KernelError> {
+        if self.cow_shares.is_empty() || len == 0 {
+            return Ok(());
+        }
+        let owner = pid.owner_tag();
+        let Kernel {
+            processes,
+            allocator,
+            dram,
+            cow_shares,
+            ..
+        } = self;
+        let process = processes
+            .get_mut(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?;
+        if !process.is_running() {
+            return Err(KernelError::ProcessTerminated { pid });
+        }
+        let mut offset = 0u64;
+        while offset < len {
+            let addr = va + offset;
+            let pa = process
+                .space
+                .translate(addr)
+                .ok_or(KernelError::UnmappedAddress { pid, addr })?;
+            let frame = pa.frame_number();
+            if cow_shares.contains_key(&frame) {
+                let private = allocator.allocate()?;
+                let mut page = vec![0u8; PAGE_SIZE as usize];
+                dram.read_bytes(frame.base_address(), &mut page)?;
+                dram.write_bytes(private.base_address(), &page, owner)?;
+                process.space.remap_page(addr, private)?;
+                drop_cow_share(cow_shares, frame);
+            }
+            let page_remaining = PAGE_SIZE - addr.page_offset();
+            offset += page_remaining.min(len - offset);
+        }
         Ok(())
     }
 
@@ -368,6 +493,13 @@ impl Kernel {
     /// Terminates a running process, freeing its frames and applying the
     /// configured sanitization policy.
     ///
+    /// Two residue substrates escape the frame-oriented path here.  Under
+    /// memory pressure ([`BoardConfig::with_swap`]) the coldest heap pages are
+    /// compressed into the swap store first, where frame scrubbing never
+    /// reaches them.  And frames still CoW-shared with a live fork child are
+    /// *retained* — not freed, not handed to the sanitizer — so the parent's
+    /// bytes survive under the child until it dies or writes over them.
+    ///
     /// Returns the sanitizer's report (which records zero scrubbed bytes under
     /// the vulnerable default policy).
     ///
@@ -376,16 +508,35 @@ impl Kernel {
     /// Returns [`KernelError::NoSuchProcess`] or
     /// [`KernelError::ProcessTerminated`].
     pub fn terminate(&mut self, pid: Pid) -> Result<ScrubReport, KernelError> {
-        let allocator = &mut self.allocator;
-        let process = self
+        if !self
             .processes
-            .get_mut(&pid)
-            .ok_or(KernelError::NoSuchProcess { pid })?;
-        if !process.is_running() {
+            .get(&pid)
+            .ok_or(KernelError::NoSuchProcess { pid })?
+            .is_running()
+        {
             return Err(KernelError::ProcessTerminated { pid });
         }
-        let freed = process.space.release_all(allocator);
-        process.mark_terminated(self.clock);
+        self.swap_out_cold_pages(pid)?;
+        let clock = self.clock;
+        let Kernel {
+            processes,
+            allocator,
+            cow_shares,
+            ..
+        } = self;
+        let process = processes.get_mut(&pid).expect("validated above");
+        let shared: BTreeSet<FrameNumber> = process
+            .space
+            .owned_frames()
+            .iter()
+            .filter(|f| cow_shares.contains_key(f))
+            .copied()
+            .collect();
+        let (freed, retained) = process.space.release_all_except(allocator, &shared);
+        for frame in &retained {
+            drop_cow_share(cow_shares, *frame);
+        }
+        process.mark_terminated(clock);
         let policy = self.config.sanitize_policy();
         let report = policy.apply(
             &mut self.dram,
@@ -404,6 +555,38 @@ impl Kernel {
         self.scrub_reports.push(report.clone());
         self.advance_clock(1);
         Ok(report)
+    }
+
+    /// Swaps out the coldest fraction of `pid`'s heap (lowest addresses
+    /// first) into the compressed swap store, per the board's memory-pressure
+    /// knob.  Copy-only: the frames stay mapped and are freed/sanitized by
+    /// the normal termination path — the compressed slots are a second
+    /// substrate that frame scrubbing never touches.
+    fn swap_out_cold_pages(&mut self, pid: Pid) -> Result<(), KernelError> {
+        let pressure = u64::from(self.config.swap_pressure());
+        if pressure == 0 {
+            return Ok(());
+        }
+        let process = self.process(pid)?;
+        let Some(heap) = process.address_space().heap_vma() else {
+            return Ok(());
+        };
+        let heap_start = heap.start;
+        let cold_pages = (heap.len() / PAGE_SIZE * pressure).div_ceil(100);
+        let mut pages = Vec::new();
+        for index in 0..cold_pages {
+            let va = heap_start + index * PAGE_SIZE;
+            if let Some(pa) = process.address_space().translate(va) {
+                pages.push((index, pa));
+            }
+        }
+        let owner = pid.owner_tag();
+        for (index, pa) in pages {
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            self.dram.read_bytes(pa, &mut buf)?;
+            self.dram.swap_store_mut().swap_out(owner, index, &buf);
+        }
+        Ok(())
     }
 
     /// Reads a 32-bit word from physical memory (the kernel-side primitive
@@ -936,6 +1119,214 @@ mod tests {
         fresh.terminate(pid).unwrap();
         fresh.read_physical_bytes(pa, &mut replay).unwrap();
         assert_eq!(snaps[0], replay);
+    }
+
+    #[test]
+    fn fork_shares_frames_copy_on_write() {
+        let mut k = kernel();
+        let parent = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(parent, 2 * 4096).unwrap();
+        let heap = k.process(parent).unwrap().heap_base();
+        k.write_process_memory(parent, heap, b"parent secret")
+            .unwrap();
+
+        let child = k.fork(parent).unwrap();
+        assert_ne!(child, parent);
+        let cp = k.process(child).unwrap();
+        assert!(cp.is_running());
+        assert_eq!(cp.parent(), parent);
+        assert_eq!(cp.command_string(), "victim");
+        // No frames copied: both map the same physical pages.
+        assert_eq!(k.cow_shared_frame_count(parent), 2);
+        assert_eq!(k.cow_shared_frame_count(child), 2);
+        assert!(k.cow_shared_frames().all(|(_, count)| count == 2));
+        let pa_parent = k
+            .process(parent)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        let pa_child = k
+            .process(child)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        assert_eq!(pa_parent, pa_child);
+        // The child reads the parent's bytes through its own mapping.
+        let mut leaked = vec![0u8; 13];
+        k.read_process_memory(child, heap, &mut leaked).unwrap();
+        assert_eq!(&leaked, b"parent secret");
+
+        // A child write faults: the child gets a private copy, the parent
+        // keeps the original bytes.
+        k.write_process_memory(child, heap, b"child  rewrite")
+            .unwrap();
+        let pa_after = k
+            .process(child)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        assert_ne!(pa_after, pa_parent);
+        let mut parent_view = vec![0u8; 13];
+        k.read_process_memory(parent, heap, &mut parent_view)
+            .unwrap();
+        assert_eq!(&parent_view, b"parent secret");
+        // That page is no longer shared; the second one still is.
+        assert_eq!(k.cow_shared_frame_count(parent), 1);
+        assert!(k.fork(Pid::new(9999)).is_err());
+    }
+
+    #[test]
+    fn cow_frames_survive_parent_termination_under_zero_on_free() {
+        // The CoW residue channel: zero-on-free scrubs only the freed list,
+        // and frames shared with a live child never reach it.
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests().with_sanitize_policy(SanitizePolicy::ZeroOnFree),
+        );
+        let parent = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(parent, 2 * 4096).unwrap();
+        let heap = k.process(parent).unwrap().heap_base();
+        k.write_process_memory(parent, heap, b"inherited secret")
+            .unwrap();
+        let pa = k
+            .process(parent)
+            .unwrap()
+            .address_space()
+            .translate(heap)
+            .unwrap();
+        let child = k.fork(parent).unwrap();
+
+        let report = k.terminate(parent).unwrap();
+        // Nothing was freed, so nothing was scrubbed — the whole heap is
+        // CoW-retained under the child.
+        assert_eq!(report.bytes_scrubbed, 0);
+        assert_eq!(k.cow_shared_frame_count(child), 0);
+        assert_eq!(k.cow_shared_frames().count(), 0);
+        assert!(k.allocator().is_allocated(pa.frame_number()));
+        // The parent's bytes are intact, tagged as dead-owner residue.
+        let mut buf = vec![0u8; 16];
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(&buf, b"inherited secret");
+        assert!(k.residue_frame_count() > 0);
+
+        // When the child later dies, the frames finally reach the sanitizer
+        // as part of *its* freed list.
+        let report = k.terminate(child).unwrap();
+        assert!(report.bytes_scrubbed >= 2 * 4096);
+        k.read_physical_bytes(pa, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn swap_pressure_copies_cold_pages_into_the_swap_store() {
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests()
+                .with_swap(50)
+                .with_sanitize_policy(SanitizePolicy::ZeroOnFree),
+        );
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4 * 4096).unwrap();
+        let heap = k.process(pid).unwrap().heap_base();
+        k.write_process_memory(pid, heap, b"cold page payload")
+            .unwrap();
+        let owner = pid.owner_tag();
+        assert_eq!(k.dram().swap_store().slot_count(), 0);
+
+        k.terminate(pid).unwrap();
+        // 50% of 4 heap pages → the 2 lowest-addressed pages were swapped.
+        let store = k.dram().swap_store();
+        assert_eq!(store.slot_count(), 2);
+        // Frame scrubbing zeroed DRAM but never touched the slots: the
+        // payload is recoverable from swap.
+        assert_eq!(k.dram().residue_bytes(), 0);
+        assert!(store.residue_bytes(Some(owner)) > 0);
+        let page = store.read_slot(0).unwrap();
+        assert_eq!(&page[..17], b"cold page payload");
+        assert_eq!(store.slot(0).unwrap().page_index(), 0);
+    }
+
+    #[test]
+    fn scrub_reports_stay_monotone_across_pid_reuse() {
+        // Reusing a pid must not resurrect (or reset) the sanitize report
+        // history: reports are one-per-terminate, not per-pid state.
+        let mut k = Kernel::boot(
+            BoardConfig::tiny_for_tests().with_sanitize_policy(SanitizePolicy::ZeroOnFree),
+        );
+        let pid = k.spawn(UserId::new(0), &["victim"]).unwrap();
+        k.grow_heap(pid, 4096).unwrap();
+        k.terminate(pid).unwrap();
+        assert_eq!(k.scrub_reports().len(), 1);
+
+        let revived = k
+            .spawn_reusing_pid(UserId::new(1), &["revived"], pid)
+            .unwrap();
+        // Spawning on a reused pid is not a terminate: count unchanged.
+        assert_eq!(k.scrub_reports().len(), 1);
+        k.grow_heap(revived, 4096).unwrap();
+        k.terminate(revived).unwrap();
+        assert_eq!(k.scrub_reports().len(), 2);
+
+        // A second reuse cycle keeps counting up.
+        k.spawn_reusing_pid(UserId::new(1), &["again"], pid)
+            .unwrap();
+        assert_eq!(k.scrub_reports().len(), 2);
+        k.terminate(pid).unwrap();
+        assert_eq!(k.scrub_reports().len(), 3);
+    }
+
+    #[test]
+    fn cow_frames_never_enter_the_free_list_while_the_child_lives() {
+        // Property test over seeded fork/terminate/write sequences: a frame
+        // mapped by a live process must never sit on the allocator's reuse
+        // list, no matter how the CoW shares were torn down.
+        fn splitmix64(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        for seed in 0..8u64 {
+            let mut k = kernel();
+            let root = k.spawn(UserId::new(0), &["victim"]).unwrap();
+            k.grow_heap(root, 3 * 4096).unwrap();
+            let heap = k.process(root).unwrap().heap_base();
+            k.write_process_memory(root, heap, &[0xC0; 3 * 4096])
+                .unwrap();
+            let mut live = vec![root];
+            let mut state = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1;
+            for step in 0..24 {
+                state = splitmix64(state);
+                let target = live[(state % live.len() as u64) as usize];
+                match state >> 32 & 3 {
+                    0 if live.len() < 6 => {
+                        live.push(k.fork(target).unwrap());
+                    }
+                    1 if live.len() > 1 => {
+                        k.terminate(target).unwrap();
+                        live.retain(|p| *p != target);
+                    }
+                    _ => {
+                        let off = (state >> 8) % (2 * 4096);
+                        k.write_process_memory(target, heap + off, &[step as u8; 64])
+                            .unwrap();
+                    }
+                }
+                // Invariant: no live process maps a frame on the free list.
+                let free: BTreeSet<FrameNumber> = k.allocator().free_list_frames().collect();
+                for pid in &live {
+                    for frame in k.process(*pid).unwrap().address_space().owned_frames() {
+                        assert!(
+                            !free.contains(frame),
+                            "seed {seed} step {step}: frame {frame} of live pid {pid} is on the free list"
+                        );
+                        assert!(k.allocator().is_allocated(*frame));
+                    }
+                }
+            }
+        }
     }
 
     #[test]
