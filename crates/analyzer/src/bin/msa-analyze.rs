@@ -1,0 +1,41 @@
+//! `msa-analyze` — emit the static residue-flow verdict matrix.
+//!
+//! Prints the verdict table for the shipped audit matrix to stdout and
+//! writes the machine-readable `ANALYSIS.json` (schema `msa-analyzer-v1`)
+//! next to the invocation.  The write notice goes to stderr so the stdout
+//! table stays golden-pinnable.
+//!
+//! ```text
+//! cargo run -p msa-analyzer --bin msa-analyze             # table + ANALYSIS.json
+//! cargo run -p msa-analyzer --bin msa-analyze -- --out=path/to.json
+//! ```
+
+use msa_analyzer::AuditReport;
+
+fn main() {
+    let mut out = String::from("ANALYSIS.json");
+    for arg in std::env::args().skip(1) {
+        if let Some(path) = arg.strip_prefix("--out=") {
+            out = path.to_string();
+        } else {
+            eprintln!("error: unknown flag `{arg}`");
+            eprintln!("usage: msa-analyze [--out=PATH]");
+            std::process::exit(2);
+        }
+    }
+
+    let report = AuditReport::generate();
+    println!("=== ANALYZE: static residue-flow verdicts over the shipped audit matrix ===");
+    print!("{}", report.render_table());
+    let (scrubbed, bounded, leaks) = report.verdict_counts();
+    println!(
+        "{} cells: {scrubbed} scrubbed, {bounded} decay-bounded, {leaks} leak",
+        report.cells().len()
+    );
+
+    if let Err(error) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: cannot write {out}: {error}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,512 @@
+//! The abstract interpreter: symbolic residue flow over the lifecycle trace.
+//!
+//! Each of the four [`Channel`]s carries an abstract residue state through
+//! the trace — `Empty` (no residue can exist), `Raw` (residue provably
+//! persists, bit-exact), `Bounded` (residue may persist but a lifecycle edge
+//! bounds what is readable).  The states map onto the verdict lattice
+//! one-to-one: `Empty → Scrubbed`, `Bounded → DecayBounded`, `Raw → Leaks`.
+//!
+//! Every transfer that changes a channel's state appends a provenance line
+//! (`"event: explanation"`) to that channel, so a verdict is always
+//! accompanied by the lifecycle edge that caused it — the analyzer never
+//! says "leaks" without saying *through which edge*.
+//!
+//! The transfer rules are grounded in the kernel model's semantics (see the
+//! per-rule comments); the soundness harness in `tests/soundness.rs` proves
+//! the binding verdicts against the dynamic campaign engine over the whole
+//! shipped audit matrix.
+
+use zynq_dram::{RemanenceModel, SanitizePolicy};
+
+use crate::lattice::{Channel, Verdict};
+use crate::model::{LifecycleEvent, ScenarioShape};
+
+/// Abstract residue content of one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residue {
+    /// No residue can exist in this channel.
+    Empty,
+    /// Bit-exact residue provably persists.
+    Raw,
+    /// Residue may persist; a lifecycle edge bounds what is readable.
+    Bounded,
+}
+
+impl Residue {
+    fn verdict(self) -> Verdict {
+        match self {
+            Residue::Empty => Verdict::Scrubbed,
+            Residue::Bounded => Verdict::DecayBounded,
+            Residue::Raw => Verdict::Leaks,
+        }
+    }
+}
+
+/// How much of the *freed DRAM frames* a sanitize policy provably clears at
+/// termination.  Swap coverage is a separate axis
+/// ([`SanitizePolicy::scrubs_swap`]); CoW-retained frames are outside every
+/// policy's reach by construction (they are never freed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameCoverage {
+    /// Every freed frame is cleared before reuse.
+    Full,
+    /// Only whole DRAM rows are cleared; frames whose rows straddle other
+    /// owners keep sub-row residue.
+    Partial,
+    /// Clearing is scheduled but has not run when the scrape lands.
+    Deferred,
+    /// Freed frames are never touched.
+    None,
+    /// A policy this analyzer has no transfer rule for (`SanitizePolicy` is
+    /// non-exhaustive): no binding claim either way.
+    Unknown,
+}
+
+fn frame_coverage(policy: SanitizePolicy) -> FrameCoverage {
+    match policy {
+        SanitizePolicy::ZeroOnFree
+        | SanitizePolicy::RowClone
+        | SanitizePolicy::SelectiveScrub
+        | SanitizePolicy::ZeroOnFreeSwap => FrameCoverage::Full,
+        SanitizePolicy::RowReset => FrameCoverage::Partial,
+        SanitizePolicy::Background { .. } => FrameCoverage::Deferred,
+        SanitizePolicy::None | SanitizePolicy::SwapScrub => FrameCoverage::None,
+        _ => FrameCoverage::Unknown,
+    }
+}
+
+/// One channel's final verdict plus the lifecycle edges that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelFlow {
+    /// The channel's place on the verdict lattice.
+    pub verdict: Verdict,
+    /// `"event: explanation"` lines, in trace order.
+    pub provenance: Vec<String>,
+}
+
+/// The complete static analysis of one scenario shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// The shape that was analyzed.
+    pub shape: ScenarioShape,
+    /// Per-channel verdicts, in [`Channel::ALL`] order.
+    flows: [ChannelFlow; 4],
+}
+
+impl Analysis {
+    /// The verdict and provenance of one channel.
+    pub fn channel(&self, channel: Channel) -> &ChannelFlow {
+        let index = Channel::ALL
+            .iter()
+            .position(|&c| c == channel)
+            .expect("Channel::ALL is total");
+        self.flows.get(index).expect("flows mirror Channel::ALL")
+    }
+
+    /// Iterates `(channel, flow)` pairs in report order.
+    pub fn channels(&self) -> impl Iterator<Item = (Channel, &ChannelFlow)> {
+        Channel::ALL.iter().copied().zip(self.flows.iter())
+    }
+
+    /// The join of all channel verdicts: the scenario's worst-case exposure.
+    pub fn overall(&self) -> Verdict {
+        self.flows
+            .iter()
+            .fold(Verdict::Scrubbed, |acc, flow| acc.join(flow.verdict))
+    }
+
+    /// Whether every channel is [`Verdict::Scrubbed`] — the strongest claim:
+    /// the attacker recovers nothing, through any substrate.
+    pub fn fully_scrubbed(&self) -> bool {
+        self.overall() == Verdict::Scrubbed
+    }
+}
+
+/// Interpreter state for one channel.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    residue: Residue,
+    provenance: Vec<String>,
+}
+
+impl ChannelState {
+    fn new() -> Self {
+        ChannelState {
+            residue: Residue::Empty,
+            provenance: Vec::new(),
+        }
+    }
+
+    fn set(&mut self, residue: Residue, line: String) {
+        self.residue = residue;
+        self.provenance.push(line);
+    }
+
+    fn into_flow(self) -> ChannelFlow {
+        ChannelFlow {
+            verdict: self.residue.verdict(),
+            provenance: self.provenance,
+        }
+    }
+}
+
+/// Runs the abstract interpreter over `shape`'s lifecycle trace.
+///
+/// Total over every constructible shape: all policies, schedules, scrape
+/// modes, remanence models and swap pressures analyze to a verdict — there
+/// is no "unknown" escape hatch.
+pub fn analyze(shape: &ScenarioShape) -> Analysis {
+    let policy = shape.policy;
+    let coverage = frame_coverage(policy);
+    let decays = shape.remanence != RemanenceModel::Perfect;
+
+    let mut dram = ChannelState::new();
+    let mut swap = ChannelState::new();
+    let mut cow = ChannelState::new();
+    let mut pid = ChannelState::new();
+
+    // Facts accumulated before termination: whether swap slots exist and
+    // whether CoW children pin the victim's frames when it dies.
+    let mut swap_populated = false;
+    let mut cow_pinned = false;
+
+    for event in shape.trace() {
+        match event {
+            LifecycleEvent::Spawn | LifecycleEvent::WriteHeap => {
+                // Live victim data is not residue; no channel moves.
+            }
+            LifecycleEvent::SwapOut { pressure } => {
+                swap_populated = true;
+                swap.provenance.push(format!(
+                    "swap-out: {pressure}% of the victim heap compressed into swap slots"
+                ));
+            }
+            LifecycleEvent::Fork { children } => {
+                cow_pinned = true;
+                cow.provenance.push(format!(
+                    "fork: {children} still-running children share every victim frame copy-on-write"
+                ));
+            }
+            LifecycleEvent::Terminate => {
+                // DRAM frames: CoW retention trumps the policy — frames the
+                // children pin are never freed, so the scrub never sees them
+                // and they never become free-list residue.
+                if cow_pinned {
+                    cow.set(
+                        Residue::Raw,
+                        "terminate: the kernel retains the shared frames for the children — \
+                         frame-oriented scrubbing never touches them"
+                            .into(),
+                    );
+                    dram.set(
+                        Residue::Empty,
+                        "terminate: every victim frame stays allocated to the CoW children; \
+                         none returns to the free list as residue"
+                            .into(),
+                    );
+                } else {
+                    match coverage {
+                        FrameCoverage::Full => dram.set(
+                            Residue::Empty,
+                            format!("terminate: {policy} clears every freed frame before reuse"),
+                        ),
+                        FrameCoverage::Partial => dram.set(
+                            Residue::Raw,
+                            format!(
+                                "terminate: {policy} resets whole rows only — frames whose rows \
+                                 straddle other owners keep sub-row residue"
+                            ),
+                        ),
+                        FrameCoverage::Deferred => dram.set(
+                            Residue::Raw,
+                            format!(
+                                "terminate: {policy} has not fired when the scrape lands — \
+                                 the freed frames are still raw"
+                            ),
+                        ),
+                        FrameCoverage::None => dram.set(
+                            Residue::Raw,
+                            format!("terminate: {policy} never touches freed frames"),
+                        ),
+                        FrameCoverage::Unknown => dram.set(
+                            Residue::Bounded,
+                            format!(
+                                "terminate: {policy} has no audited coverage rule — \
+                                 residue extent unknown, no binding claim"
+                            ),
+                        ),
+                    }
+                }
+                // Swap slots: only the swap-aware policies reach them.
+                if swap_populated {
+                    if policy.scrubs_swap() {
+                        swap.set(
+                            Residue::Empty,
+                            format!("terminate: {policy} scrubs the swap slots"),
+                        );
+                    } else {
+                        swap.set(
+                            Residue::Raw,
+                            format!(
+                                "terminate: {policy} is frame-oriented — the compressed \
+                                 slots survive in the swap store"
+                            ),
+                        );
+                    }
+                }
+            }
+            LifecycleEvent::Revive {
+                successors,
+                reuse_pid,
+            } => {
+                // The successor inherits whatever the freed frames hold at
+                // allocation time; with analog decay between termination and
+                // that first read, a raw inheritance weakens to bounded.
+                let pid_suffix = if reuse_pid { " and its pid" } else { "" };
+                match dram.residue {
+                    Residue::Raw if !decays => pid.set(
+                        Residue::Raw,
+                        format!(
+                            "revive: the successor re-allocates the victim's frames{pid_suffix} \
+                             and reads raw residue at first touch"
+                        ),
+                    ),
+                    Residue::Raw | Residue::Bounded => pid.set(
+                        Residue::Bounded,
+                        format!(
+                            "revive: the successor re-allocates the victim's frames{pid_suffix}; \
+                             the residue it inherits is bounded, not bit-exact"
+                        ),
+                    ),
+                    Residue::Empty => pid.set(
+                        Residue::Empty,
+                        "revive: the frames were cleared at termination — the successor \
+                         inherits zeroes"
+                            .into(),
+                    ),
+                }
+                // Whatever the attacker scrapes afterwards has been partly
+                // overwritten by the successors' own heap images.
+                if dram.residue == Residue::Raw {
+                    dram.set(
+                        Residue::Bounded,
+                        format!(
+                            "revive: {successors} successor heap image(s) overwrite an \
+                             unpredictable share of the residue before the scrape"
+                        ),
+                    );
+                }
+            }
+            LifecycleEvent::Churn { churn_rate } => {
+                if dram.residue == Residue::Raw {
+                    dram.set(
+                        Residue::Bounded,
+                        format!(
+                            "churn: live tenants re-allocate freed frames {churn_rate} time(s) \
+                             per scraped chunk while the read is in flight"
+                        ),
+                    );
+                }
+            }
+            LifecycleEvent::Scrape => {
+                // Analog remanence decays the DRAM read; the swap store is a
+                // compressed software structure and the CoW / inheritance
+                // measures are structural frame counts, so only the DRAM
+                // channel weakens here.
+                if decays && dram.residue == Residue::Raw {
+                    dram.set(
+                        Residue::Bounded,
+                        format!(
+                            "scrape: analog remanence decay ({}) bounds how much of the raw \
+                             residue is still readable",
+                            shape.remanence
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Channels the trace never exercised explain themselves.
+    if !swap_populated {
+        swap.provenance
+            .push("swap disabled on this board: no slots ever exist".into());
+    }
+    if !cow_pinned {
+        cow.provenance.push(format!(
+            "schedule {}: no fork, so nothing is CoW-retained",
+            shape.schedule
+        ));
+    }
+    if pid.provenance.is_empty() {
+        pid.provenance.push(format!(
+            "schedule {}: no revival, so no successor allocates the victim's frames",
+            shape.schedule
+        ));
+    }
+
+    Analysis {
+        shape: shape.clone(),
+        flows: [
+            dram.into_flow(),
+            swap.into_flow(),
+            cow.into_flow(),
+            pid.into_flow(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_core::VictimSchedule;
+
+    #[test]
+    fn unsanitized_single_victim_leaks_through_dram_only() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::None));
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::Leaks
+        );
+        assert_eq!(
+            analysis.channel(Channel::SwapSlots).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(
+            analysis.channel(Channel::CowFrames).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(
+            analysis.channel(Channel::PidReuse).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(analysis.overall(), Verdict::Leaks);
+        assert!(!analysis.fully_scrubbed());
+    }
+
+    #[test]
+    fn zero_on_free_swap_scrubs_every_channel_under_pressure() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::ZeroOnFreeSwap).with_swap(100));
+        assert!(analysis.fully_scrubbed());
+        // The swap channel explains both the population and the scrub.
+        let swap = analysis.channel(Channel::SwapSlots);
+        assert_eq!(swap.provenance.len(), 2);
+    }
+
+    #[test]
+    fn zero_on_free_moves_the_leak_into_swap_under_pressure() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::ZeroOnFree).with_swap(100));
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(analysis.channel(Channel::SwapSlots).verdict, Verdict::Leaks);
+        assert_eq!(analysis.overall(), Verdict::Leaks);
+    }
+
+    #[test]
+    fn swap_scrub_closes_swap_but_not_frames() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::SwapScrub).with_swap(100));
+        assert_eq!(
+            analysis.channel(Channel::SwapSlots).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::Leaks
+        );
+    }
+
+    #[test]
+    fn fork_heavy_retention_defeats_even_full_coverage() {
+        let analysis = analyze(
+            &ScenarioShape::new(SanitizePolicy::ZeroOnFree)
+                .with_schedule(VictimSchedule::ForkHeavy { children: 2 }),
+        );
+        assert_eq!(analysis.channel(Channel::CowFrames).verdict, Verdict::Leaks);
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::Scrubbed
+        );
+        assert_eq!(analysis.overall(), Verdict::Leaks);
+    }
+
+    #[test]
+    fn revival_inherits_raw_residue_and_bounds_the_scrape() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::None).with_schedule(
+            VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            },
+        ));
+        assert_eq!(analysis.channel(Channel::PidReuse).verdict, Verdict::Leaks);
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::DecayBounded
+        );
+    }
+
+    #[test]
+    fn revival_after_full_coverage_inherits_nothing() {
+        let analysis = analyze(
+            &ScenarioShape::new(SanitizePolicy::SelectiveScrub).with_schedule(
+                VictimSchedule::Revival {
+                    successors: 1,
+                    reuse_pid: true,
+                },
+            ),
+        );
+        assert!(analysis.fully_scrubbed());
+    }
+
+    #[test]
+    fn analog_decay_downgrades_raw_dram_to_bounded() {
+        let analysis = analyze(
+            &ScenarioShape::new(SanitizePolicy::None)
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 1 }),
+        );
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::DecayBounded
+        );
+        // ...but a scrubbed channel stays scrubbed: there is nothing to decay.
+        let scrubbed = analyze(
+            &ScenarioShape::new(SanitizePolicy::ZeroOnFree)
+                .with_remanence(RemanenceModel::Exponential { half_life_ticks: 1 }),
+        );
+        assert!(scrubbed.fully_scrubbed());
+    }
+
+    #[test]
+    fn churn_bounds_the_dram_channel() {
+        let analysis = analyze(&ScenarioShape::new(SanitizePolicy::None).with_schedule(
+            VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 1,
+            },
+        ));
+        assert_eq!(
+            analysis.channel(Channel::DramFrames).verdict,
+            Verdict::DecayBounded
+        );
+    }
+
+    #[test]
+    fn every_verdict_carries_provenance() {
+        for policy in [
+            SanitizePolicy::None,
+            SanitizePolicy::RowReset,
+            SanitizePolicy::Background { delay_ticks: 1000 },
+            SanitizePolicy::ZeroOnFreeSwap,
+        ] {
+            let analysis = analyze(&ScenarioShape::new(policy).with_swap(50));
+            for (channel, flow) in analysis.channels() {
+                assert!(
+                    !flow.provenance.is_empty(),
+                    "{policy}/{channel}: verdict {} has no provenance",
+                    flow.verdict
+                );
+            }
+        }
+    }
+}

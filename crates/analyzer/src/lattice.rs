@@ -1,0 +1,144 @@
+//! The verdict lattice and the residue channels it judges.
+//!
+//! Every channel of every analyzed scenario lands on one of three verdicts,
+//! ordered `Scrubbed < DecayBounded < Leaks`.  The two extremes carry binding
+//! claims that the soundness harness checks against the dynamic campaign
+//! engine; the middle is the honest "residue may exist but its readable
+//! extent is bounded by consumption or analog decay" verdict, which claims
+//! nothing measurable:
+//!
+//! - [`Verdict::Scrubbed`]: the channel's measured residue quantity is
+//!   **exactly zero** in every dynamic execution of the scenario.
+//! - [`Verdict::DecayBounded`]: residue may survive, but a lifecycle edge
+//!   (successor consumption, tenant churn, analog remanence decay) bounds
+//!   what the attacker can still read — no exact claim either way.
+//! - [`Verdict::Leaks`]: the channel's measured residue quantity is
+//!   **strictly positive** in every dynamic execution of the scenario.
+
+use std::fmt;
+
+/// A residue channel: one substrate through which a terminated victim's data
+/// can outlive it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// Freed DRAM frames still holding the victim's heap image
+    /// (measured as residue frames neither CoW-retained nor lost before the
+    /// scrape).
+    DramFrames,
+    /// Compressed swap slots holding swapped-out victim heap pages
+    /// (measured as `swap_resident_bytes`).
+    SwapSlots,
+    /// Victim frames kept allocated past termination by copy-on-write
+    /// children (measured as `cow_inherited_frames`).
+    CowFrames,
+    /// Residue a revived successor process inherits when it re-allocates the
+    /// victim's frames — and, in the worst case, its pid (measured as
+    /// `revival_inherited_frames`).
+    PidReuse,
+}
+
+impl Channel {
+    /// Every channel, in the fixed report order.
+    pub const ALL: [Channel; 4] = [
+        Channel::DramFrames,
+        Channel::SwapSlots,
+        Channel::CowFrames,
+        Channel::PidReuse,
+    ];
+
+    /// Stable kebab-case name (report keys, table headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::DramFrames => "dram-frames",
+            Channel::SwapSlots => "swap-slots",
+            Channel::CowFrames => "cow-frames",
+            Channel::PidReuse => "pid-reuse",
+        }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three-point verdict lattice (derives `Ord` in lattice order, so
+/// [`Verdict::join`] is just `max`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Verdict {
+    /// No residue reaches the attacker through this channel: the dynamic
+    /// measure is exactly zero.
+    #[default]
+    Scrubbed,
+    /// Residue may survive, but a lifecycle edge bounds what is readable;
+    /// no binding claim.
+    DecayBounded,
+    /// Raw residue persists: the dynamic measure is strictly positive.
+    Leaks,
+}
+
+impl Verdict {
+    /// Least upper bound: the worse of the two verdicts.
+    #[must_use]
+    pub fn join(self, other: Verdict) -> Verdict {
+        self.max(other)
+    }
+
+    /// Stable kebab-case name (report values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Scrubbed => "scrubbed",
+            Verdict::DecayBounded => "decay-bounded",
+            Verdict::Leaks => "leaks",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_the_lattice_maximum() {
+        use Verdict::{DecayBounded, Leaks, Scrubbed};
+        assert_eq!(Scrubbed.join(Scrubbed), Scrubbed);
+        assert_eq!(Scrubbed.join(DecayBounded), DecayBounded);
+        assert_eq!(DecayBounded.join(Scrubbed), DecayBounded);
+        assert_eq!(DecayBounded.join(Leaks), Leaks);
+        assert_eq!(Leaks.join(Scrubbed), Leaks);
+    }
+
+    #[test]
+    fn join_is_commutative_associative_and_idempotent() {
+        use Verdict::{DecayBounded, Leaks, Scrubbed};
+        let all = [Scrubbed, DecayBounded, Leaks];
+        for a in all {
+            assert_eq!(a.join(a), a);
+            for b in all {
+                assert_eq!(a.join(b), b.join(a));
+                for c in all {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Verdict::Scrubbed.to_string(), "scrubbed");
+        assert_eq!(Verdict::DecayBounded.to_string(), "decay-bounded");
+        assert_eq!(Verdict::Leaks.to_string(), "leaks");
+        let names: Vec<&str> = Channel::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["dram-frames", "swap-slots", "cow-frames", "pid-reuse"]
+        );
+    }
+}

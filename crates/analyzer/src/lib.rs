@@ -1,0 +1,49 @@
+//! # msa-analyzer — static residue-flow analysis for the MSA reproduction
+//!
+//! A small abstract interpreter over the kernel lifecycle model: given a
+//! scenario configuration (sanitize policy, victim schedule, scrape mode,
+//! remanence model, swap pressure), it symbolically tracks each residue
+//! channel — freed DRAM frames, compressed swap slots, CoW-retained frames,
+//! pid-reuse inheritance — through the spawn / write / swap-out / fork /
+//! terminate / revive / churn / scrape lifecycle and judges each channel on
+//! a three-point verdict lattice:
+//!
+//! - [`Verdict::Scrubbed`] — the channel's dynamic residue measure is
+//!   exactly zero (a binding claim),
+//! - [`Verdict::DecayBounded`] — residue may persist but a lifecycle edge
+//!   bounds what the attacker reads (no binding claim),
+//! - [`Verdict::Leaks`] — the channel's dynamic residue measure is strictly
+//!   positive (a binding claim),
+//!
+//! with per-channel provenance naming the lifecycle edge responsible.
+//!
+//! The binding claims are not taken on faith: the soundness harness in
+//! `tests/soundness.rs` streams real campaigns (via `msa_core::campaign`)
+//! over the shipped [`audit`] matrix and asserts every `Scrubbed` channel
+//! measures exactly zero and every `Leaks` channel measures strictly
+//! positive — zero false-safe verdicts, proven against the dynamic engine.
+//!
+//! # Example
+//!
+//! ```
+//! use msa_analyzer::{analyze, Channel, ScenarioShape, Verdict};
+//! use zynq_dram::SanitizePolicy;
+//!
+//! // Zero-on-free under swap pressure: the frames are clean, but the
+//! // residue has simply moved substrate.
+//! let shape = ScenarioShape::new(SanitizePolicy::ZeroOnFree).with_swap(100);
+//! let analysis = analyze(&shape);
+//! assert_eq!(analysis.channel(Channel::DramFrames).verdict, Verdict::Scrubbed);
+//! assert_eq!(analysis.channel(Channel::SwapSlots).verdict, Verdict::Leaks);
+//! assert_eq!(analysis.overall(), Verdict::Leaks);
+//! ```
+
+pub mod audit;
+pub mod flow;
+pub mod lattice;
+pub mod model;
+
+pub use audit::{audit_matrix, audited_policies, AuditReport, SCHEMA};
+pub use flow::{analyze, Analysis, ChannelFlow};
+pub use lattice::{Channel, Verdict};
+pub use model::{LifecycleEvent, ScenarioShape};

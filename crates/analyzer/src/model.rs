@@ -1,0 +1,261 @@
+//! The scenario shape the analyzer reasons over, and the kernel lifecycle
+//! trace it abstracts each shape into.
+//!
+//! A [`ScenarioShape`] is the analyzer's view of a campaign cell: exactly the
+//! configuration axes that determine where residue can flow — sanitize
+//! policy, victim schedule, scrape mode, remanence model and the board's
+//! swap pressure.  Axes that only affect *whether the attack runs at all*
+//! (isolation) or *which bytes the victim holds* (model, input, ASLR,
+//! allocation order) do not change residue flow and are deliberately absent,
+//! which is what lets one static verdict cover a whole slice of the dynamic
+//! matrix.
+//!
+//! [`ScenarioShape::trace`] lowers the shape to the ordered
+//! [`LifecycleEvent`] sequence the kernel model executes: spawn, heap write,
+//! optional swap-out, optional fork, terminate, optional revival, optional
+//! live-traffic churn, scrape.  The abstract interpreter in [`crate::flow`]
+//! walks this trace.
+
+use msa_core::campaign::CampaignCell;
+use msa_core::{ScrapeMode, VictimSchedule};
+use zynq_dram::{RemanenceModel, SanitizePolicy};
+
+/// The residue-relevant projection of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioShape {
+    /// End-of-process sanitization the kernel applies.
+    pub policy: SanitizePolicy,
+    /// Victim-traffic schedule around the termination.
+    pub schedule: VictimSchedule,
+    /// The attacker's scraping strategy.
+    pub scrape: ScrapeMode,
+    /// Analog DRAM remanence decay model.
+    pub remanence: RemanenceModel,
+    /// Percentage of the victim heap swapped out before termination
+    /// (`0` = swap disabled).
+    pub swap_pressure: u8,
+}
+
+impl ScenarioShape {
+    /// The default shape: single victim, no swap, perfect remanence,
+    /// contiguous scrape, no sanitization.
+    pub fn new(policy: SanitizePolicy) -> Self {
+        ScenarioShape {
+            policy,
+            schedule: VictimSchedule::Single,
+            scrape: ScrapeMode::ContiguousRange,
+            remanence: RemanenceModel::Perfect,
+            swap_pressure: 0,
+        }
+    }
+
+    /// Builder: victim schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: VictimSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Builder: scrape mode.
+    #[must_use]
+    pub fn with_scrape(mut self, scrape: ScrapeMode) -> Self {
+        self.scrape = scrape;
+        self
+    }
+
+    /// Builder: remanence model.
+    #[must_use]
+    pub fn with_remanence(mut self, remanence: RemanenceModel) -> Self {
+        self.remanence = remanence;
+        self
+    }
+
+    /// Builder: swap pressure (clamped to 100, like the board knob).
+    #[must_use]
+    pub fn with_swap(mut self, pressure: u8) -> Self {
+        self.swap_pressure = pressure.min(100);
+        self
+    }
+
+    /// Projects a fully resolved campaign cell onto its residue-relevant
+    /// shape — the bridge the soundness harness crosses to compare a static
+    /// verdict with the cell's dynamic metrics.
+    pub fn of_cell(cell: &CampaignCell) -> Self {
+        ScenarioShape {
+            policy: cell.sanitize,
+            schedule: cell.schedule,
+            scrape: cell.scrape_mode,
+            remanence: cell.remanence,
+            swap_pressure: cell.board.swap_pressure(),
+        }
+    }
+
+    /// Lowers the shape to the kernel lifecycle trace the abstract
+    /// interpreter walks.  The order is the order the campaign engine
+    /// executes the scenario in; every event that can move residue between
+    /// substrates appears exactly once.
+    pub fn trace(&self) -> Vec<LifecycleEvent> {
+        let mut events = vec![LifecycleEvent::Spawn, LifecycleEvent::WriteHeap];
+        if self.swap_pressure > 0 {
+            events.push(LifecycleEvent::SwapOut {
+                pressure: self.swap_pressure,
+            });
+        }
+        if let VictimSchedule::ForkHeavy { children } = self.schedule {
+            events.push(LifecycleEvent::Fork { children });
+        }
+        events.push(LifecycleEvent::Terminate);
+        if let VictimSchedule::Revival {
+            successors,
+            reuse_pid,
+        } = self.schedule
+        {
+            events.push(LifecycleEvent::Revive {
+                successors,
+                reuse_pid,
+            });
+        }
+        if let VictimSchedule::LiveTraffic { churn_rate, .. } = self.schedule {
+            if churn_rate > 0 {
+                events.push(LifecycleEvent::Churn { churn_rate });
+            }
+        }
+        events.push(LifecycleEvent::Scrape);
+        events
+    }
+}
+
+/// One edge of the kernel lifecycle model, in execution order.
+///
+/// `SequentialTraffic` and `MultiTenant` schedules add no event: predecessor
+/// processes run *before* the victim spawns and a co-resident tenant's data
+/// is not the victim's residue, so neither moves the victim's bytes between
+/// substrates after termination — the edge set below is the complete
+/// residue-flow alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// The victim process is created; every channel starts empty.
+    Spawn,
+    /// The victim writes its heap image (model weights, input) into DRAM.
+    WriteHeap,
+    /// The kernel compresses `pressure`% of the victim's cold heap pages
+    /// into the swap store.
+    SwapOut {
+        /// Percentage of heap pages swapped out.
+        pressure: u8,
+    },
+    /// The victim forks `children` processes that share its frames
+    /// copy-on-write and stay running.
+    Fork {
+        /// Still-running CoW children at termination.
+        children: usize,
+    },
+    /// The victim terminates; the configured sanitize policy runs over
+    /// whatever frames actually return to the free list.
+    Terminate,
+    /// `successors` new processes re-allocate the victim's freed frames
+    /// (and with `reuse_pid`, its pid) before the scrape.
+    Revive {
+        /// Successor processes launched before the scrape.
+        successors: usize,
+        /// Whether the first successor reuses the victim's pid.
+        reuse_pid: bool,
+    },
+    /// Live tenant churn re-allocates freed frames while the scrape is in
+    /// flight.
+    Churn {
+        /// Churn events between consecutive scraped chunks.
+        churn_rate: usize,
+    },
+    /// The attacker reads physical memory (and overlays surviving swap
+    /// slots); analog remanence decay applies to this read.
+    Scrape,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_schedule_traces_to_the_minimal_sequence() {
+        let shape = ScenarioShape::new(SanitizePolicy::None);
+        assert_eq!(
+            shape.trace(),
+            vec![
+                LifecycleEvent::Spawn,
+                LifecycleEvent::WriteHeap,
+                LifecycleEvent::Terminate,
+                LifecycleEvent::Scrape,
+            ]
+        );
+    }
+
+    #[test]
+    fn every_optional_edge_appears_when_configured() {
+        let shape = ScenarioShape::new(SanitizePolicy::ZeroOnFree)
+            .with_swap(100)
+            .with_schedule(VictimSchedule::ForkHeavy { children: 2 });
+        assert_eq!(
+            shape.trace(),
+            vec![
+                LifecycleEvent::Spawn,
+                LifecycleEvent::WriteHeap,
+                LifecycleEvent::SwapOut { pressure: 100 },
+                LifecycleEvent::Fork { children: 2 },
+                LifecycleEvent::Terminate,
+                LifecycleEvent::Scrape,
+            ]
+        );
+
+        let revival =
+            ScenarioShape::new(SanitizePolicy::None).with_schedule(VictimSchedule::Revival {
+                successors: 1,
+                reuse_pid: true,
+            });
+        assert_eq!(
+            revival.trace(),
+            vec![
+                LifecycleEvent::Spawn,
+                LifecycleEvent::WriteHeap,
+                LifecycleEvent::Terminate,
+                LifecycleEvent::Revive {
+                    successors: 1,
+                    reuse_pid: true,
+                },
+                LifecycleEvent::Scrape,
+            ]
+        );
+
+        let live =
+            ScenarioShape::new(SanitizePolicy::None).with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 1,
+            });
+        assert!(live
+            .trace()
+            .contains(&LifecycleEvent::Churn { churn_rate: 1 }));
+    }
+
+    #[test]
+    fn zero_churn_live_traffic_adds_no_churn_edge() {
+        let shape =
+            ScenarioShape::new(SanitizePolicy::None).with_schedule(VictimSchedule::LiveTraffic {
+                tenants: 2,
+                churn_rate: 0,
+            });
+        assert!(!shape
+            .trace()
+            .iter()
+            .any(|e| matches!(e, LifecycleEvent::Churn { .. })));
+    }
+
+    #[test]
+    fn swap_pressure_clamps_like_the_board_knob() {
+        assert_eq!(
+            ScenarioShape::new(SanitizePolicy::None)
+                .with_swap(250)
+                .swap_pressure,
+            100
+        );
+    }
+}

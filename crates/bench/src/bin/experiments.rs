@@ -29,6 +29,11 @@
 //! pool — the `evaluate_*` sweeps are campaign specs, and `--fingerprint`,
 //! `--boards` and `--campaign` build their specs directly.
 
+// Lint audit: casts here narrow counters and ratios for table/JSON
+// display, and indexes walk rows produced by the same loop — no value
+// feeds back into address arithmetic.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use msa_bench::{attacker_debugger, ATTACKER_USER, VICTIM_USER};
 use msa_core::attack::{AttackConfig, AttackPipeline};
 use msa_core::campaign::{CampaignSpec, CampaignSummary, InputKind, StreamConfig};
@@ -67,6 +72,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--remanence",
     "--reconstruct",
     "--swap",
+    "--audit",
     "--campaign",
     "--tiny",
     "--stream",
@@ -211,9 +217,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if options.want("--swap") {
         swap(&options)?;
     }
+    if options.want("--audit") {
+        audit()?;
+    }
     if options.want("--campaign") {
         campaign(&options)?;
     }
+    Ok(())
+}
+
+/// `--audit`: the static residue-flow verdict matrix from `msa-analyzer`.
+/// No campaign runs — the verdicts come from the abstract interpreter, so
+/// the table is board-independent (`--tiny` and `--jobs` have no effect).
+/// The machine-readable twin goes to `ANALYSIS.json` (schema
+/// `msa-analyzer-v1`), golden-pinned byte-for-byte in the analyzer crate.
+fn audit() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== AUDIT: static residue-flow verdicts over the shipped audit matrix ===");
+    let report = msa_analyzer::AuditReport::generate();
+    print!("{report_table}", report_table = report.render_table());
+    let (scrubbed, bounded, leaks) = report.verdict_counts();
+    println!(
+        "{cells} cells: {scrubbed} scrubbed, {bounded} decay-bounded, {leaks} leak\n",
+        cells = report.cells().len()
+    );
+    std::fs::write("ANALYSIS.json", report.to_json())?;
+    eprintln!("wrote ANALYSIS.json");
     Ok(())
 }
 

@@ -161,6 +161,14 @@ fn tiny_banks_stdout_is_pinned() {
     assert_matches_golden(&["--banks", "--tiny"], "experiments_tiny_banks.txt");
 }
 
+#[test]
+fn audit_stdout_is_pinned() {
+    // The `--audit` table is computed by the static analyzer, not by
+    // campaigns, so it is fully deterministic and board-independent; the
+    // JSON twin is pinned byte-for-byte in the analyzer crate's own golden.
+    assert_matches_golden(&["--audit"], "experiments_audit.txt");
+}
+
 /// JSON keys in `BENCH_substrates.json` whose values are wall-clock
 /// measurements or ratios derived from them.  Field names, field order and
 /// the deterministic values (schema, board, region size) stay pinned.

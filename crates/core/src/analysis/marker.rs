@@ -5,6 +5,10 @@
 //! by searching for `5555 5555` in a profiling run.  This module provides the
 //! run-length scanner behind both steps.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 use zynq_dram::ScrapeView;
 

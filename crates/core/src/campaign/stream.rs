@@ -19,6 +19,11 @@
 //! releases them in reverse or shuffled order, proving the reorder buffer
 //! (not scheduling luck) is what makes results order-independent.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -499,9 +504,24 @@ where
     let condvar = Condvar::new();
     let abort = AtomicBool::new(false);
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+    // Shadow log (race-check builds only): every block claim as a
+    // `(worker, cell-index interval)` record, asserted cross-worker disjoint
+    // once the pool and collector have drained — the proof that the
+    // claim-on-demand fan-out hands every cell to exactly one worker.
+    #[cfg(feature = "race-check")]
+    let race_log = zynq_dram::racecheck::AccessLog::new("campaign::stream block claims");
+
+    let result = std::thread::scope(|scope| {
+        let shared = &shared;
+        let condvar = &condvar;
+        let abort = &abort;
+        #[cfg(feature = "race-check")]
+        let race_log = &race_log;
+        // The worker index only feeds the race-check shadow log; the claim
+        // protocol itself is index-blind.
+        #[cfg_attr(not(feature = "race-check"), allow(unused_variables))]
+        for worker_index in 0..workers {
+            scope.spawn(move || {
                 loop {
                     let claim = {
                         let mut state = shared.lock().expect("stream state poisoned");
@@ -529,6 +549,10 @@ where
                     let Some((index, first_cell, cells)) = claim else {
                         break;
                     };
+                    // Interval units: cell indexes.  Each claimed block must
+                    // be private to this worker.
+                    #[cfg(feature = "race-check")]
+                    race_log.record(worker_index, first_cell as u64..(first_cell + cells) as u64);
                     let block_started = Instant::now();
                     let mut results = Vec::with_capacity(cells);
                     for offset in 0..cells {
@@ -648,7 +672,10 @@ where
             .expect("stream state poisoned")
             .peak_resident_cells;
         Ok(accumulator.into_summary(workers, block_size, peak, started.elapsed(), groups))
-    })
+    });
+    #[cfg(feature = "race-check")]
+    race_log.finish();
+    result
 }
 
 /// Moves an adversary's withheld blocks into the reorder buffer in the

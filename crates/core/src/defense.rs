@@ -13,6 +13,16 @@
 //! sweeps project their rows through the streaming visitor
 //! ([`CampaignSpec::stream_cells`]) — records are consumed in cell-index
 //! order as they complete, never held as a batch.
+//!
+//! Because every sweep fans out exclusively through the streaming engine,
+//! `race-check` builds audit this module's parallelism transitively: each
+//! block claim the pool makes on a sweep's behalf is recorded per worker and
+//! asserted cross-worker disjoint (see `zynq_dram::racecheck`), with no
+//! sweep-specific instrumentation needed here.
+
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
 
 use petalinux_sim::{BoardConfig, IsolationPolicy};
 use serde::{Deserialize, Serialize};

@@ -8,6 +8,10 @@
 //! that offset transfers verbatim to the victim's run — the property the
 //! paper demonstrates with the "row number 646768" observation.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use std::collections::BTreeMap;
 
 use petalinux_sim::{BoardConfig, Kernel, UserId};

@@ -4,6 +4,10 @@
 //! reproduced figure and table as text; this module provides the small
 //! column-aligned table renderer it uses.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use std::fmt;
 
 /// A column-aligned text table.

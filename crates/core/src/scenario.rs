@@ -17,6 +17,11 @@
 //! [`AttackScenario::execute`] drives all three stages back to back, so
 //! single-shot callers keep their one-line API.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 

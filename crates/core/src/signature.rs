@@ -6,6 +6,10 @@
 //! path fragments.  [`SignatureDb`] holds those patterns;
 //! [`SignatureDb::match_dump`] scores a scraped dump against every model.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 use vitis_ai_sim::ModelKind;
 use zynq_dram::ScrapeView;

@@ -5,6 +5,10 @@
 //! (`/proc/<pid>/maps` text and `/proc/<pid>/pagemap` entries), never with
 //! kernel internals.
 
+// Lint audit: narrowing casts here operate on values already clamped
+// to their target range by the surrounding arithmetic.
+#![allow(clippy::cast_possible_truncation)]
+
 use petalinux_sim::procfs::parse_heap_range;
 use petalinux_sim::{Kernel, Pid};
 use serde::{Deserialize, Serialize};

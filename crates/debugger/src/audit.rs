@@ -6,6 +6,10 @@
 //! records every operation a [`DebugSession`](crate::DebugSession) performs so
 //! that experiments can quantify this detection surface.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use std::fmt;
 
 use petalinux_sim::{Pid, UserId};

@@ -28,6 +28,11 @@
 //! same [`DramStats`] counters — which is pinned by the differential harness
 //! in `tests/dram_sharding_equivalence.rs`.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -744,6 +749,12 @@ impl Dram {
         let stripes = last_stripe - first_stripe + 1;
         let stripes_per_worker = stripes.div_ceil(workers as u64);
 
+        // Shadow log (race-check builds only): one window-relative byte
+        // interval per worker piece, asserted cross-worker disjoint after
+        // the scope joins.
+        #[cfg(feature = "race-check")]
+        let race_log = crate::racecheck::AccessLog::new("Dram::scrape_banks_parallel");
+
         std::thread::scope(|scope| {
             let mut rest = buf;
             let mut piece_addr = addr;
@@ -760,6 +771,11 @@ impl Dram {
                 let (piece, tail) = rest.split_at_mut(piece_len);
                 rest = tail;
                 let start = piece_addr;
+                #[cfg(feature = "race-check")]
+                {
+                    let rel = start.offset_from(self.config.base());
+                    race_log.record(w, rel..rel + piece_len as u64);
+                }
                 // Decay is a pure per-cell function, so applying it piecewise
                 // inside each worker is byte-identical to the sequential pass.
                 scope.spawn(move || self.read_decayed_unchecked(start, piece));
@@ -772,6 +788,8 @@ impl Dram {
                 "parallel scrape split must cover the range"
             );
         });
+        #[cfg(feature = "race-check")]
+        race_log.finish();
         Ok(())
     }
 
@@ -1131,9 +1149,20 @@ impl Dram {
             // threads that actually run.
             let spawned = self.banks.len().div_ceil(banks_per_worker);
 
+            // Shadow log (race-check builds only): one bank-ordinal interval
+            // per worker block, asserted cross-worker disjoint after the
+            // scope joins.
+            #[cfg(feature = "race-check")]
+            let race_log = crate::racecheck::AccessLog::new("Dram::scrub_banks_parallel");
+
             std::thread::scope(|scope| {
                 for (block, shard_block) in self.banks.chunks_mut(banks_per_worker).enumerate() {
                     let first_bank = block * banks_per_worker;
+                    #[cfg(feature = "race-check")]
+                    race_log.record(
+                        block,
+                        first_bank as u64..(first_bank + shard_block.len()) as u64,
+                    );
                     scope.spawn(move || {
                         // Each shard arena holds only its own bank's stripes,
                         // so a worker zeroes the covered slab ranges of its
@@ -1153,6 +1182,8 @@ impl Dram {
                     });
                 }
             });
+            #[cfg(feature = "race-check")]
+            race_log.finish();
             self.stats.record_parallel_scrub(spawned);
         }
         self.drop_zeroed_ownership(addr, len);

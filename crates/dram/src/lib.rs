@@ -52,6 +52,8 @@ pub mod config;
 pub mod device;
 pub mod error;
 pub mod mapping;
+#[cfg(feature = "race-check")]
+pub mod racecheck;
 pub mod remanence;
 pub mod sanitize;
 pub mod stats;

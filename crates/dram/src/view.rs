@@ -14,11 +14,24 @@
 //! (window-end clamping) by the consumer via [`ScrapeView::append`] and
 //! [`ScrapeView::push_zeros`].
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use crate::addr::PAGE_SIZE;
+
+/// [`PAGE_SIZE`] as a `usize` length.  The compile-time guard makes the
+/// cast provably lossless on every supported target, so this is the one
+/// place the module converts between the two widths.
+#[allow(clippy::cast_possible_truncation)]
+const PAGE_USIZE: usize = {
+    assert!(PAGE_SIZE <= u32::MAX as u64, "page size fits usize");
+    PAGE_SIZE as usize
+};
 
 /// One shared all-zero chunk backing every gap in every view.  `PAGE_SIZE`
 /// bytes is enough for any unit: units are `min(stripe_bytes, PAGE_SIZE)`.
-static ZERO: [u8; PAGE_SIZE as usize] = [0u8; PAGE_SIZE as usize];
+static ZERO: [u8; PAGE_USIZE] = [0u8; PAGE_USIZE];
 
 /// A borrowed static zero slice of `len` bytes (`len <= PAGE_SIZE`), used
 /// for never-written stripes, missing pages and padding.
@@ -48,7 +61,7 @@ impl<'a> ScrapeView<'a> {
     /// most [`PAGE_SIZE`]).
     pub fn with_unit(unit: usize) -> Self {
         assert!(
-            unit.is_power_of_two() && unit as u64 <= PAGE_SIZE,
+            unit.is_power_of_two() && unit <= PAGE_USIZE,
             "view unit must be a power of two no larger than a page"
         );
         ScrapeView {
@@ -68,7 +81,7 @@ impl<'a> ScrapeView<'a> {
         ScrapeView {
             head: bytes,
             chunks: Vec::new(),
-            unit_shift: (PAGE_SIZE as usize).trailing_zeros(),
+            unit_shift: PAGE_USIZE.trailing_zeros(),
             len: bytes.len(),
         }
     }
@@ -341,8 +354,29 @@ mod tests {
         view
     }
 
+    #[test]
+    fn page_sized_units_sit_exactly_on_the_accepted_boundary() {
+        // `PAGE_USIZE` is the compile-time-checked image of `PAGE_SIZE`:
+        // a full-page unit is legal, a full-page zero chunk exists, and
+        // both agree with the `u64` constant they were derived from.
+        assert_eq!(PAGE_USIZE as u64, PAGE_SIZE);
+        let view = ScrapeView::with_unit(PAGE_USIZE);
+        assert_eq!(view.len(), 0);
+        let zeros = zero_chunk(PAGE_USIZE);
+        assert_eq!(zeros.len(), PAGE_USIZE);
+        assert!(zeros.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "view unit must be a power of two")]
+    fn oversized_units_are_rejected() {
+        let _ = ScrapeView::with_unit(PAGE_USIZE * 2);
+    }
+
     fn sample(len: usize) -> Vec<u8> {
-        (0..len).map(|i| (i * 7 % 251) as u8).collect()
+        (0..len)
+            .map(|i| u8::try_from(i * 7 % 251).expect("residue below 251"))
+            .collect()
     }
 
     #[test]

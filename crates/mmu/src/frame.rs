@@ -7,6 +7,10 @@
 //! [`AllocationOrder::Randomized`] models the layout-randomization defense the
 //! paper's conclusion calls for.
 
+// Lint audit: narrowing casts here operate on values already clamped
+// to their target range by the surrounding arithmetic.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::{HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};

@@ -1,5 +1,9 @@
 //! Per-process address spaces: page table + VMAs + heap break.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};

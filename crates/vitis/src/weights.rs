@@ -6,6 +6,11 @@
 //! a given model places bit-identical weights at the same heap offsets, which
 //! is the determinism the paper's offline profiling exploits.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use crate::model::ModelKind;
 
 /// Quantized (int8) weights for `model`, `simulated_param_count()` bytes long.

@@ -5,6 +5,10 @@
 //!
 //! Run with: `cargo run --example full_attack`
 
+// Lint audit: narrowing casts here operate on values already clamped
+// to their target range by the surrounding arithmetic.
+#![allow(clippy::cast_possible_truncation)]
+
 use fpga_msa::debugger::DebugSession;
 use fpga_msa::msa::attack::{AttackConfig, AttackPipeline};
 use fpga_msa::msa::detect::{DetectorConfig, ScrapingDetector};

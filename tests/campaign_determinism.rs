@@ -7,6 +7,10 @@
 //! metrics) are identical for 1 worker vs. N workers and across repeated
 //! runs.  Only wall-clock fields may differ.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use fpga_msa::dram::SanitizePolicy;
 use fpga_msa::msa::campaign::{
     Adversary, CampaignReport, CampaignSpec, CellRecord, InputKind, StreamConfig,
@@ -267,6 +271,39 @@ fn live_traffic_churn_is_pinned_to_the_cell_seed() {
         lifetime.frames_lost_before_scrape,
         other.frames_lost_before_scrape
     );
+}
+
+/// Race-check builds only: stream the matrix through a multi-worker pool and
+/// assert the shadow-state checker audited the block claims (and every
+/// bank-parallel scrape underneath) with zero cross-worker overlaps.  This is
+/// the "wired into the determinism suite" guarantee — the determinism
+/// equalities above hold *and* the partitioning they rely on was verified,
+/// not assumed.
+#[cfg(feature = "race-check")]
+#[test]
+fn race_checker_audits_the_streaming_pool_with_zero_overlaps() {
+    use fpga_msa::dram::racecheck;
+
+    let before = racecheck::stats();
+    let spec = matrix_spec().with_scrape_modes(vec![ScrapeMode::BankStriped { workers: 4 }]);
+    let summary = spec
+        .stream_cells(
+            StreamConfig::default().with_workers(4).with_block_size(8),
+            |_| Ok(()),
+        )
+        .unwrap();
+    assert_eq!(summary.cells_total, spec.cell_count());
+    let after = racecheck::stats();
+    assert!(
+        after.ops_checked > before.ops_checked,
+        "the streamed pool must pass through the race checker ({before:?} -> {after:?})"
+    );
+    assert!(
+        after.intervals_recorded
+            >= before.intervals_recorded + spec.cell_count().div_ceil(8) as u64,
+        "every claimed block must be recorded ({before:?} -> {after:?})"
+    );
+    assert_eq!(after.overlaps_found, 0, "no cross-worker overlap may exist");
 }
 
 /// The streaming engine is a pure reorganization of the batch pool: for the

@@ -8,6 +8,10 @@
 //! typed `AttackError::EmptyCampaign` without ever spawning (or hanging)
 //! the pool.
 
+// Lint audit: indexes and slice bounds here are established by the
+// surrounding length checks / loop invariants before use.
+#![allow(clippy::indexing_slicing)]
+
 use fpga_msa::dram::{RemanenceModel, SanitizePolicy};
 use fpga_msa::msa::campaign::{CampaignAccumulator, CampaignSpec, InputKind, StreamConfig};
 use fpga_msa::msa::scenario::VictimSchedule;

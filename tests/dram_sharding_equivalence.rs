@@ -11,6 +11,11 @@
 //! identical ownership transitions and identical `DramStats` counters
 //! throughout.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use std::collections::HashMap;
 
 use fpga_msa::dram::config::DdrGeometry;
@@ -456,6 +461,29 @@ fn sparse_windows_keep_arena_memory_proportional_to_touched_stripes() {
             capacity
         );
     }
+}
+
+/// Race-check builds only: the differential sequences drive the bank-parallel
+/// scrub/scrape paths hundreds of times; this asserts the shadow-state
+/// checker actually audited those runs and found zero cross-worker overlaps
+/// (rather than the suite passing because the checker never engaged).
+#[cfg(feature = "race-check")]
+#[test]
+fn race_checker_audits_the_parallel_paths_with_zero_overlaps() {
+    use fpga_msa::dram::racecheck;
+
+    let before = racecheck::stats();
+    run_differential("tiny-ddr4", DramConfig::tiny_for_tests(), 0x7ACE_C4EC, 200);
+    let after = racecheck::stats();
+    assert!(
+        after.ops_checked > before.ops_checked,
+        "parallel ops must pass through the race checker ({before:?} -> {after:?})"
+    );
+    assert!(
+        after.intervals_recorded > before.intervals_recorded,
+        "worker intervals must be recorded ({before:?} -> {after:?})"
+    );
+    assert_eq!(after.overlaps_found, 0, "no cross-worker overlap may exist");
 }
 
 #[test]

@@ -20,6 +20,11 @@
 //! These are the device-level guarantees the campaign determinism suite
 //! builds on when it sweeps the remanence axis across pool workers.
 
+// Lint audit: address arithmetic here is bounds-checked against the
+// DRAM window before any narrowing cast or direct index; offsets are
+// derived from validated window-relative coordinates.
+#![allow(clippy::cast_possible_truncation, clippy::indexing_slicing)]
+
 use fpga_msa::dram::{Dram, DramConfig, OwnerTag, RemanenceModel, PAGE_SIZE};
 use fpga_msa::msa::analysis::reconstruct::fuse_snapshots;
 use proptest::prelude::*;
